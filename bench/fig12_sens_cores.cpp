@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 12 (sensitivity): core count. Gmean weighted speedup and max
+ * slowdown of FR-FCFS / UBP / DBP at 4, 8 and 16 cores on the fixed
+ * 32-bank machine (mixes truncated / repeated to fit). More cores per
+ * bank stresses the equal partition (2 banks each at 16 cores) and
+ * widens DBP's advantage.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace dbpsim;
+using namespace dbpsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    RunConfig rc = makeRunConfig(argc, argv);
+    printHeader("fig12", "sensitivity to core count", rc);
+
+    std::vector<Scheme> schemes = {schemeByName("FR-FCFS"),
+                                   schemeByName("UBP"),
+                                   schemeByName("DBP")};
+    TextTable table({"cores", "WS FR-FCFS", "WS UBP", "WS DBP",
+                     "MS FR-FCFS", "MS UBP", "MS DBP"});
+
+    for (unsigned cores : {4u, 8u, 16u}) {
+        ExperimentRunner runner(rc);
+        std::vector<std::vector<double>> ws(schemes.size());
+        std::vector<std::vector<double>> ms(schemes.size());
+        for (const auto &base_mix : sensitivityMixes()) {
+            WorkloadMix mix = scaleMix(base_mix, cores);
+            for (std::size_t s = 0; s < schemes.size(); ++s) {
+                MixResult r = runner.runMix(mix, schemes[s]);
+                ws[s].push_back(r.metrics.weightedSpeedup);
+                ms[s].push_back(r.metrics.maxSlowdown);
+            }
+        }
+        table.beginRow();
+        table.cell(cores);
+        for (std::size_t s = 0; s < schemes.size(); ++s)
+            table.cell(geomean(ws[s]), 3);
+        for (std::size_t s = 0; s < schemes.size(); ++s)
+            table.cell(geomean(ms[s]), 3);
+        std::cerr << "  [" << cores << " cores done]\n";
+    }
+    table.print(std::cout);
+    return 0;
+}

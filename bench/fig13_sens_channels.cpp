@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 13 (sensitivity): channel count, at a fixed 32 total banks.
+ * Gmean weighted speedup and max slowdown of FR-FCFS / DBP / MCP at
+ * 1, 2 and 4 channels. MCP needs >= 2 channels to separate anything
+ * and still concentrates intensive threads; DBP's bank-granular split
+ * works at any channel count.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace dbpsim;
+using namespace dbpsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    RunConfig rc = makeRunConfig(argc, argv);
+    printHeader("fig13", "sensitivity to channel count", rc);
+
+    std::vector<Scheme> schemes = {schemeByName("FR-FCFS"),
+                                   schemeByName("DBP"),
+                                   schemeByName("MCP")};
+    TextTable table({"channels", "WS FR-FCFS", "WS DBP", "WS MCP",
+                     "MS FR-FCFS", "MS DBP", "MS MCP"});
+
+    struct Geo
+    {
+        unsigned channels, ranks, banks;
+    };
+    for (Geo g : {Geo{1, 2, 16}, Geo{2, 2, 8}, Geo{4, 2, 4}}) {
+        RunConfig cfg = rc;
+        cfg.base.geometry.channels = g.channels;
+        cfg.base.geometry.ranksPerChannel = g.ranks;
+        cfg.base.geometry.banksPerRank = g.banks;
+        ExperimentRunner runner(cfg);
+
+        std::vector<std::vector<double>> ws(schemes.size());
+        std::vector<std::vector<double>> ms(schemes.size());
+        for (const auto &mix : sensitivityMixes()) {
+            for (std::size_t s = 0; s < schemes.size(); ++s) {
+                MixResult r = runner.runMix(mix, schemes[s]);
+                ws[s].push_back(r.metrics.weightedSpeedup);
+                ms[s].push_back(r.metrics.maxSlowdown);
+            }
+        }
+        table.beginRow();
+        table.cell(g.channels);
+        for (std::size_t s = 0; s < schemes.size(); ++s)
+            table.cell(geomean(ws[s]), 3);
+        for (std::size_t s = 0; s < schemes.size(); ++s)
+            table.cell(geomean(ms[s]), 3);
+        std::cerr << "  [" << g.channels << " channels done]\n";
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figure 14 (ablation): which DBP design choices matter. Gmean
+ * weighted speedup / max slowdown / migrated pages over the
+ * sensitivity mixes for: full DBP; no light-thread grouping (every
+ * thread treated heavy); no hysteresis vs strong hysteresis;
+ * allocation-only (no migration) vs idealized free migration; and a
+ * flat demand estimate (ignore measured BLP).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace dbpsim;
+using namespace dbpsim::bench;
+
+namespace {
+
+struct Variant
+{
+    std::string name;
+    void (*tweak)(SystemParams &);
+};
+
+void
+vFull(SystemParams &)
+{
+}
+
+void
+vNoLightGroup(SystemParams &p)
+{
+    // Nothing is "light": every thread gets a private demand share.
+    p.dbp.lightMpki = 0.0;
+}
+
+void
+vStrongHysteresis(SystemParams &p)
+{
+    p.dbp.hysteresisBanks = 4;
+}
+
+void
+vNoMigration(SystemParams &p)
+{
+    p.partMgr.migration = MigrationMode::None;
+}
+
+void
+vFreeMigration(SystemParams &p)
+{
+    p.partMgr.migration = MigrationMode::EagerFree;
+}
+
+void
+vFlatDemand(SystemParams &p)
+{
+    // All heavy threads report equal demand — the dynamic machinery
+    // with the estimator unplugged.
+    p.dbp.flatDemand = true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunConfig rc = makeRunConfig(argc, argv);
+    printHeader("fig14", "DBP design ablations", rc);
+
+    const std::vector<Variant> variants = {
+        {"full DBP", vFull},
+        {"no light grouping", vNoLightGroup},
+        {"hysteresis=4", vStrongHysteresis},
+        {"no migration", vNoMigration},
+        {"free migration", vFreeMigration},
+        {"flat demand", vFlatDemand},
+    };
+
+    Scheme dbp = schemeByName("DBP");
+    TextTable table({"variant", "gmean WS", "gmean MS",
+                     "pages migrated"});
+    for (const auto &v : variants) {
+        RunConfig cfg = rc;
+        v.tweak(cfg.base);
+        ExperimentRunner runner(cfg);
+        std::vector<double> ws, ms;
+        std::uint64_t migrated = 0;
+        for (const auto &mix : sensitivityMixes()) {
+            MixResult r = runner.runMix(mix, dbp);
+            ws.push_back(r.metrics.weightedSpeedup);
+            ms.push_back(r.metrics.maxSlowdown);
+            migrated += r.pagesMigrated;
+        }
+        table.beginRow();
+        table.cell(v.name);
+        table.cell(geomean(ws), 3);
+        table.cell(geomean(ms), 3);
+        table.cell(migrated);
+        std::cerr << "  [" << v.name << " done]\n";
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: full DBP at or near the best WS/MS;"
+                 " flat demand loses the BLP compensation; free\n"
+                 "migration bounds what the cost model forfeits.\n";
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 17 (extension): composing channel- and bank-granular
+ * partitioning. Weighted speedup and max slowdown of MCP, DBP,
+ * DBP-MCP (channel groups split bank-wise inside) and DBP-MCP-TCM
+ * over the sensitivity mixes — the "comprehensive approach" direction
+ * the paper's discussion points toward, evaluated beyond its own
+ * scheme set.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace dbpsim;
+using namespace dbpsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    RunConfig rc = makeRunConfig(argc, argv);
+    printHeader("fig17", "channel+bank partitioning composition", rc);
+
+    std::vector<Scheme> schemes = {
+        schemeByName("MCP"), schemeByName("DBP"),
+        schemeByName("DBP-MCP"), schemeByName("DBP-TCM"),
+        schemeByName("DBP-MCP-TCM")};
+    ExperimentRunner runner(rc);
+    auto rows = runSweep(runner, sensitivityMixes(), schemes);
+
+    printMetric(rows, schemes, weightedSpeedupOf, "weighted speedup");
+    printMetric(rows, schemes, maxSlowdownOf,
+                "maximum slowdown (lower = fairer)");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 2 (motivation): equal bank partitioning caps bank-level
+ * parallelism (claim C4). Each application runs alone with its pages
+ * confined to k banks, k in {1, 2, 4, 8, 16, 32}; IPC is reported
+ * normalized to the all-banks case. High-BLP applications (mcf-like)
+ * keep gaining with more banks — a static equal share (4 banks at
+ * 8 cores / 32 banks) leaves their parallelism on the table, which is
+ * exactly the deficiency DBP repairs.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "part/policy.hh"
+#include "sim/system.hh"
+#include "trace/spec_profiles.hh"
+
+using namespace dbpsim;
+
+namespace {
+
+/** Alone IPC with the footprint confined to @p k banks. */
+double
+ipcWithBanks(const RunConfig &rc, const std::string &app, unsigned k)
+{
+    SystemParams params = rc.base;
+    params.numCores = 1;
+    params.partition = "none";
+
+    auto source = makeSpecSource(app, rc.seedBase * 31 + 7);
+    std::vector<TraceSource *> raw{source.get()};
+    System sys(params, raw);
+
+    auto order = channelSpreadColorOrder(params.geometry.channels,
+                                         params.geometry.ranksPerChannel,
+                                         params.geometry.banksPerRank);
+    std::vector<unsigned> colors(order.begin(), order.begin() + k);
+    sys.osMemory().setColorSet(0, colors);
+
+    return sys.runAndMeasure(rc.warmupCpu, rc.measureCpu).at(0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunConfig rc = bench::makeRunConfig(argc, argv);
+    bench::printHeader("fig2",
+                       "IPC vs available banks (alone, normalized)", rc);
+
+    const std::vector<std::string> apps = {"mcf", "omnetpp", "lbm",
+                                           "libquantum"};
+    const std::vector<unsigned> banks = {1, 2, 4, 8, 16, 32};
+
+    TextTable table({"app", "1", "2", "4", "8", "16", "32"});
+    for (const auto &app : apps) {
+        std::vector<double> ipcs;
+        for (unsigned k : banks)
+            ipcs.push_back(ipcWithBanks(rc, app, k));
+        double base = ipcs.back();
+        table.beginRow();
+        table.cell(app);
+        for (double v : ipcs)
+            table.cell(v / base, 3);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: libquantum saturates by ~2 banks;"
+                 " mcf/omnetpp keep improving well past the 4-bank\n"
+                 "equal share of an 8-core machine.\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 3: DBP's bank-demand estimator tracks true demand. For each
+ * intensive application, the alone-run row-miss intensity
+ * (MPKI * (1 - RBHR)) — the signal DBP deals banks in proportion to —
+ * is compared with the empirically "sufficient" bank count: the
+ * smallest k whose confined-to-k-banks IPC reaches 90 % of the
+ * all-banks IPC. The two should rank applications the same way.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "part/part_dbp.hh"
+#include "part/policy.hh"
+#include "sim/system.hh"
+#include "trace/spec_profiles.hh"
+
+using namespace dbpsim;
+
+namespace {
+
+double
+ipcWithBanks(const RunConfig &rc, const std::string &app, unsigned k)
+{
+    SystemParams params = rc.base;
+    params.numCores = 1;
+    params.partition = "none";
+    auto source = makeSpecSource(app, rc.seedBase * 31 + 7);
+    std::vector<TraceSource *> raw{source.get()};
+    System sys(params, raw);
+    auto order = channelSpreadColorOrder(params.geometry.channels,
+                                         params.geometry.ranksPerChannel,
+                                         params.geometry.banksPerRank);
+    std::vector<unsigned> colors(order.begin(), order.begin() + k);
+    sys.osMemory().setColorSet(0, colors);
+    return sys.runAndMeasure(rc.warmupCpu, rc.measureCpu).at(0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunConfig rc = bench::makeRunConfig(argc, argv);
+    bench::printHeader("fig3",
+                       "bank-demand estimation vs sufficient banks", rc);
+
+    ExperimentRunner runner(rc);
+    const std::vector<unsigned> ks = {1, 2, 4, 8, 16, 32};
+
+    TextTable table({"app", "MPKI", "RB hit", "miss intensity",
+                     "sufficient banks (90% IPC)"});
+    for (const auto &info : specProfiles()) {
+        if (!info.intensive)
+            continue;
+        ThreadMemProfile p = runner.aloneProfile(info.name);
+        // DBP's demand signal: row misses per kilo-instruction.
+        double demand = p.mpki * (1.0 - p.rowBufferHitRate);
+
+        double full = ipcWithBanks(rc, info.name, 32);
+        unsigned sufficient = 32;
+        for (unsigned k : ks) {
+            if (ipcWithBanks(rc, info.name, k) >= 0.9 * full) {
+                sufficient = k;
+                break;
+            }
+        }
+
+        table.beginRow();
+        table.cell(info.name);
+        table.cell(p.mpki, 2);
+        table.cell(p.rowBufferHitRate, 2);
+        table.cell(demand, 2);
+        table.cell(sufficient);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: miss intensity and sufficient bank"
+                 " count rank the applications consistently\n"
+                 "(streaming apps low, irregular intensive apps high).\n";
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 9: harmonic mean of speedups — the balanced
+ * throughput-and-fairness metric — for the six paper schemes over the
+ * twelve mixes (gmean summary). DBP-TCM should lead: it wins on both
+ * component metrics.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace dbpsim;
+using namespace dbpsim::bench;
+
+int
+main(int argc, char **argv)
+{
+    RunConfig rc = makeRunConfig(argc, argv);
+    printHeader("fig9", "harmonic speedup across schemes", rc);
+
+    std::vector<Scheme> schemes = {
+        schemeByName("FR-FCFS"), schemeByName("UBP"),
+        schemeByName("DBP"),     schemeByName("TCM"),
+        schemeByName("DBP-TCM"), schemeByName("MCP")};
+    ExperimentRunner runner(rc);
+    auto rows = runSweep(runner, allMixes(), schemes);
+
+    printMetric(rows, schemes, harmonicSpeedupOf,
+                "harmonic speedup (higher = better balance)");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table 2: benchmark characteristics — every application profile run
+ * alone on the full machine; reports IPC, MPKI, intrinsic row-buffer
+ * hit rate, bank-level parallelism, footprint and class. These are
+ * the measured inputs the partitioning policies act on (the analogue
+ * of the SPEC characterization table in the paper).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "trace/spec_profiles.hh"
+
+using namespace dbpsim;
+
+int
+main(int argc, char **argv)
+{
+    RunConfig rc = bench::makeRunConfig(argc, argv);
+    bench::printHeader("tab2", "workload characteristics (alone runs)",
+                       rc);
+
+    ExperimentRunner runner(rc);
+    TextTable table({"app", "class", "IPC", "MPKI", "RB hit",
+                     "BLP", "pages"});
+    for (const auto &info : specProfiles()) {
+        ThreadMemProfile p = runner.aloneProfile(info.name);
+        double ipc = runner.aloneIpc(info.name);
+        table.beginRow();
+        table.cell(info.name);
+        table.cell(info.intensive ? "intensive" : "light");
+        table.cell(ipc);
+        table.cell(p.mpki, 2);
+        table.cell(p.rowBufferHitRate, 3);
+        table.cell(p.blp, 2);
+        table.cell(p.footprintPages);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nMPKI = DRAM accesses per kilo-instruction; RB hit ="
+                 " interference-free (shadow) row-buffer hit rate;\n"
+                 "BLP = mean banks busy while the app has outstanding"
+                 " requests.\n";
+    return 0;
+}

@@ -1,0 +1,118 @@
+#include "cache/cache.hh"
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+SetAssocCache::SetAssocCache(CacheParams params) : params_(params)
+{
+    if (!isPowerOfTwo(params_.lineBytes))
+        fatal("cache line size must be a power of two");
+    if (params_.associativity == 0)
+        fatal("cache associativity must be >= 1");
+    std::uint64_t line_count = params_.sizeBytes / params_.lineBytes;
+    if (line_count == 0 || line_count % params_.associativity != 0)
+        fatal("cache size / line size must be a multiple of assoc");
+    sets_ = line_count / params_.associativity;
+    if (!isPowerOfTwo(sets_))
+        fatal("cache set count must be a power of two (got ", sets_, ")");
+    lines_.resize(line_count);
+}
+
+void
+SetAssocCache::split(Addr paddr, std::uint64_t &set, Addr &tag) const
+{
+    Addr line = paddr / params_.lineBytes;
+    set = line % sets_;
+    tag = line / sets_;
+}
+
+bool
+SetAssocCache::contains(Addr paddr) const
+{
+    std::uint64_t set;
+    Addr tag;
+    split(paddr, set, tag);
+    const Line *base = &lines_[set * params_.associativity];
+    for (unsigned w = 0; w < params_.associativity; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr paddr, bool write)
+{
+    std::uint64_t set;
+    Addr tag;
+    split(paddr, set, tag);
+    Line *base = &lines_[set * params_.associativity];
+    ++useCounter_;
+
+    CacheAccessResult result;
+
+    // Hit path.
+    for (unsigned w = 0; w < params_.associativity; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lastUse = useCounter_;
+            l.dirty = l.dirty || write;
+            result.hit = true;
+            statHits.inc();
+            return result;
+        }
+    }
+    statMisses.inc();
+
+    // Miss: pick an invalid way, else the LRU way.
+    unsigned victim = 0;
+    std::uint64_t oldest = ~0ULL;
+    for (unsigned w = 0; w < params_.associativity; ++w) {
+        Line &l = base[w];
+        if (!l.valid) {
+            victim = w;
+            oldest = 0;
+            break;
+        }
+        if (l.lastUse < oldest) {
+            oldest = l.lastUse;
+            victim = w;
+        }
+    }
+
+    Line &v = base[victim];
+    if (v.valid) {
+        statEvictions.inc();
+        if (v.dirty) {
+            statWritebacks.inc();
+            result.writeback = true;
+            result.writebackAddr =
+                (v.tag * sets_ + set) * params_.lineBytes;
+        }
+    }
+    v.valid = true;
+    v.tag = tag;
+    v.dirty = write;
+    v.lastUse = useCounter_;
+    return result;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    useCounter_ = 0;
+}
+
+double
+SetAssocCache::hitRate() const
+{
+    std::uint64_t total = statHits.value() + statMisses.value();
+    return total == 0
+        ? 0.0
+        : static_cast<double>(statHits.value()) /
+              static_cast<double>(total);
+}
+
+} // namespace dbpsim

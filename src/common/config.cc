@@ -1,0 +1,149 @@
+#include "common/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+std::int64_t
+parseIntString(const std::string &text, const std::string &what)
+{
+    if (text.empty())
+        fatal("empty integer for ", what);
+
+    std::string body = text;
+    std::int64_t mult = 1;
+    char last = static_cast<char>(std::tolower(body.back()));
+    if (last == 'k' || last == 'm' || last == 'g') {
+        mult = last == 'k' ? (1LL << 10)
+             : last == 'm' ? (1LL << 20)
+                           : (1LL << 30);
+        body.pop_back();
+    }
+
+    errno = 0;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(body.c_str(), &end, 0);
+    if (errno != 0 || end == body.c_str() || *end != '\0')
+        fatal("malformed integer '", text, "' for ", what);
+    return v * mult;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    return parseIntString(it->second, key);
+}
+
+std::uint64_t
+Config::getUInt(const std::string &key, std::uint64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    std::int64_t v = parseIntString(it->second, key);
+    if (v < 0)
+        fatal("negative value '", it->second, "' for unsigned key ", key);
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0')
+        fatal("malformed double '", it->second, "' for ", key);
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    std::string v = it->second;
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("malformed bool '", it->second, "' for ", key);
+}
+
+bool
+Config::parseToken(const std::string &token)
+{
+    auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    set(token.substr(0, eq), token.substr(eq + 1));
+    return true;
+}
+
+void
+Config::parseArgs(int argc, char **argv, int first)
+{
+    for (int i = first; i < argc; ++i) {
+        if (!parseToken(argv[i]))
+            fatal("expected key=value argument, got '", argv[i], "'");
+    }
+}
+
+std::vector<std::string>
+Config::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &kv : values_)
+        out.push_back(kv.first);
+    return out;
+}
+
+std::string
+Config::toString() const
+{
+    std::ostringstream os;
+    bool sep = false;
+    for (const auto &kv : values_) {
+        if (sep)
+            os << ' ';
+        os << kv.first << '=' << kv.second;
+        sep = true;
+    }
+    return os.str();
+}
+
+} // namespace dbpsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A small typed key=value configuration store.
+ *
+ * Used to override system parameters from the command line of examples
+ * and benchmarks ("banks=64 sched=tcm part=dbp"). Keys are free-form
+ * strings; values are parsed on demand into the requested type, with a
+ * fatal() on malformed input (user error, not a simulator bug).
+ */
+
+#ifndef DBPSIM_COMMON_CONFIG_HH
+#define DBPSIM_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dbpsim {
+
+/**
+ * Key=value configuration bag with typed accessors.
+ */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+
+    /** True iff the key is present. */
+    bool has(const std::string &key) const;
+
+    /** String value, or @p def if absent. */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+
+    /** Integer value (decimal, hex with 0x, or k/m/g suffix). */
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+
+    /** Unsigned 64-bit value with the same syntax as getInt. */
+    std::uint64_t getUInt(const std::string &key, std::uint64_t def) const;
+
+    /** Floating-point value. */
+    double getDouble(const std::string &key, double def) const;
+
+    /** Boolean: accepts 0/1/true/false/yes/no/on/off. */
+    bool getBool(const std::string &key, bool def) const;
+
+    /**
+     * Parse one "key=value" token into this config.
+     * Returns false (and changes nothing) if the token has no '='.
+     */
+    bool parseToken(const std::string &token);
+
+    /**
+     * Parse argv-style overrides; every argument must look like
+     * key=value, otherwise fatal().
+     */
+    void parseArgs(int argc, char **argv, int first = 1);
+
+    /** All keys in insertion-independent (sorted) order. */
+    std::vector<std::string> keys() const;
+
+    /** Render as "k1=v1 k2=v2 ..." (sorted), for logging. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+/**
+ * Parse an integer with optional 0x prefix or k/m/g (binary) suffix.
+ * fatal()s on malformed input, mentioning @p what.
+ */
+std::int64_t parseIntString(const std::string &text, const std::string &what);
+
+} // namespace dbpsim
+
+#endif // DBPSIM_COMMON_CONFIG_HH

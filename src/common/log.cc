@@ -1,0 +1,50 @@
+#include "common/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dbpsim {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(g_level))
+        return;
+    std::fprintf(stderr, "[dbpsim:%s] %s\n", tag, msg.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[dbpsim:panic] %s:%d: %s\n", file, line,
+                 msg.c_str());
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "[dbpsim:fatal] %s\n", msg.c_str());
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace dbpsim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Logging and invariant-checking helpers, in the spirit of gem5's
+ * logging.hh: panic() for simulator bugs, fatal() for user errors,
+ * warn()/inform() for status.
+ */
+
+#ifndef DBPSIM_COMMON_LOG_HH
+#define DBPSIM_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace dbpsim {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Global log verbosity (default: Warn). */
+LogLevel logLevel();
+
+/** Set the global log verbosity. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Emit one formatted log line to stderr if @p level is enabled. */
+void emit(LogLevel level, const char *tag, const std::string &msg);
+
+/** Abort with a message: simulator bug (never user-triggered). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit(1) with a message: user/configuration error. */
+[[noreturn]] void fatalImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Report a user/configuration error and exit. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    detail::fatalImpl(os.str());
+}
+
+/** Warn about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    detail::emit(LogLevel::Warn, "warn", os.str());
+}
+
+/** Informative status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    detail::emit(LogLevel::Info, "info", os.str());
+}
+
+/** High-volume debugging message. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() < LogLevel::Debug)
+        return;
+    std::ostringstream os;
+    (os << ... << args);
+    detail::emit(LogLevel::Debug, "debug", os.str());
+}
+
+} // namespace dbpsim
+
+/**
+ * Abort on an internal inconsistency (simulator bug). Active in all
+ * build types: the simulator's correctness claims depend on these.
+ */
+#define DBP_ASSERT(cond, msg)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream dbp_assert_os_;                             \
+            dbp_assert_os_ << "assertion '" #cond "' failed: " << msg;     \
+            ::dbpsim::detail::panicImpl(__FILE__, __LINE__,                \
+                                        dbp_assert_os_.str());             \
+        }                                                                  \
+    } while (0)
+
+/** Unconditional panic. */
+#define DBP_PANIC(msg)                                                     \
+    do {                                                                   \
+        std::ostringstream dbp_panic_os_;                                  \
+        dbp_panic_os_ << msg;                                              \
+        ::dbpsim::detail::panicImpl(__FILE__, __LINE__,                    \
+                                    dbp_panic_os_.str());                  \
+    } while (0)
+
+#endif // DBPSIM_COMMON_LOG_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fundamental scalar types and small helpers shared by every module.
+ */
+
+#ifndef DBPSIM_COMMON_TYPES_HH
+#define DBPSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace dbpsim {
+
+/** A physical or virtual byte address. */
+using Addr = std::uint64_t;
+
+/** A cycle count. CPU and DRAM cycles use the same type; context decides. */
+using Cycle = std::uint64_t;
+
+/** An instruction count. */
+using InstCount = std::uint64_t;
+
+/** Identifies a hardware thread / core (one application per core). */
+using ThreadId = std::int32_t;
+
+/** Thread id used for traffic not belonging to any application thread
+ *  (e.g. page-migration traffic injected by the OS model). */
+constexpr ThreadId kSystemThread = -1;
+
+/** An invalid / "no thread" marker. */
+constexpr ThreadId kInvalidThread = -2;
+
+/** Sentinel for "never" when tracking earliest-allowed cycles. */
+constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for an invalid address. */
+constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/**
+ * Integer ceil-division for unsigned operands.
+ */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * True iff @p v is a power of two (0 is not).
+ */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * log2 of a power-of-two value.
+ */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v > 1) { v >>= 1; ++l; }
+    return l;
+}
+
+} // namespace dbpsim
+
+#endif // DBPSIM_COMMON_TYPES_HH

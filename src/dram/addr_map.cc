@@ -1,0 +1,263 @@
+#include "dram/addr_map.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+std::string
+DramGeometry::validate() const
+{
+    auto pot = [](std::uint64_t v) { return isPowerOfTwo(v); };
+    std::ostringstream os;
+    if (!pot(channels) || !pot(ranksPerChannel) || !pot(banksPerRank) ||
+        !pot(rowsPerBank) || !pot(rowBytes) || !pot(lineBytes) ||
+        !pot(pageBytes)) {
+        os << "all geometry fields must be powers of two";
+        return os.str();
+    }
+    if (lineBytes > pageBytes) {
+        os << "lineBytes (" << lineBytes << ") > pageBytes ("
+           << pageBytes << ")";
+        return os.str();
+    }
+    if (pageBytes > rowBytes) {
+        os << "pageBytes (" << pageBytes << ") > rowBytes (" << rowBytes
+           << "): a frame would span rows";
+        return os.str();
+    }
+    if (rowBytes < lineBytes) {
+        os << "rowBytes < lineBytes";
+        return os.str();
+    }
+    return std::string();
+}
+
+MapScheme
+mapSchemeByName(const std::string &name)
+{
+    if (name == "page")
+        return MapScheme::PageInterleave;
+    if (name == "row")
+        return MapScheme::RowInterleave;
+    if (name == "line")
+        return MapScheme::LineInterleave;
+    fatal("unknown address-mapping scheme '", name,
+          "' (expected page|row|line)");
+}
+
+std::string
+mapSchemeName(MapScheme scheme)
+{
+    switch (scheme) {
+      case MapScheme::PageInterleave: return "page";
+      case MapScheme::RowInterleave: return "row";
+      case MapScheme::LineInterleave: return "line";
+    }
+    DBP_PANIC("unreachable map scheme");
+}
+
+AddressMap::AddressMap(const DramGeometry &geom, MapScheme scheme,
+                       bool bank_xor)
+    : geom_(geom), scheme_(scheme), bankXor_(bank_xor)
+{
+    std::string err = geom.validate();
+    if (!err.empty())
+        fatal("invalid DRAM geometry: ", err);
+
+    chanBits_ = floorLog2(geom.channels);
+    rankBits_ = floorLog2(geom.ranksPerChannel);
+    bankBits_ = floorLog2(geom.banksPerRank);
+    rowBits_ = floorLog2(geom.rowsPerBank);
+    colBits_ = floorLog2(geom.colsPerRow());
+    lineBits_ = floorLog2(geom.lineBytes);
+    pageLineBits_ = floorLog2(geom.pageBytes / geom.lineBytes);
+    slotBits_ = floorLog2(geom.rowBytes / geom.pageBytes);
+}
+
+namespace {
+
+/** Extract @p bits bits from @p value at the running cursor. */
+std::uint64_t
+take(std::uint64_t &value, unsigned bits)
+{
+    std::uint64_t field = value & ((1ULL << bits) - 1);
+    value >>= bits;
+    return field;
+}
+
+/** Append @p field (of width @p bits) at the running cursor. */
+void
+put(std::uint64_t &value, unsigned &shift, std::uint64_t field,
+    unsigned bits)
+{
+    value |= field << shift;
+    shift += bits;
+}
+
+} // namespace
+
+DramCoord
+AddressMap::decode(Addr addr) const
+{
+    std::uint64_t line = addr >> lineBits_;
+    DramCoord c;
+
+    switch (scheme_) {
+      case MapScheme::PageInterleave: {
+        std::uint64_t col_lo = take(line, pageLineBits_);
+        c.channel = static_cast<unsigned>(take(line, chanBits_));
+        c.rank = static_cast<unsigned>(take(line, rankBits_));
+        c.bank = static_cast<unsigned>(take(line, bankBits_));
+        std::uint64_t slot = take(line, slotBits_);
+        c.row = take(line, rowBits_);
+        c.col = col_lo | (slot << pageLineBits_);
+        break;
+      }
+      case MapScheme::RowInterleave: {
+        c.col = take(line, colBits_);
+        c.channel = static_cast<unsigned>(take(line, chanBits_));
+        c.rank = static_cast<unsigned>(take(line, rankBits_));
+        c.bank = static_cast<unsigned>(take(line, bankBits_));
+        c.row = take(line, rowBits_);
+        break;
+      }
+      case MapScheme::LineInterleave: {
+        c.channel = static_cast<unsigned>(take(line, chanBits_));
+        c.rank = static_cast<unsigned>(take(line, rankBits_));
+        c.bank = static_cast<unsigned>(take(line, bankBits_));
+        c.col = take(line, colBits_);
+        c.row = take(line, rowBits_);
+        break;
+      }
+    }
+
+    if (bankXor_ && bankBits_ > 0) {
+        auto mask = (1ULL << bankBits_) - 1;
+        c.bank = static_cast<unsigned>((c.bank ^ (c.row & mask)) & mask);
+    }
+    return c;
+}
+
+Addr
+AddressMap::encode(const DramCoord &coord) const
+{
+    DramCoord c = coord;
+    DBP_ASSERT(c.channel < geom_.channels, "channel out of range");
+    DBP_ASSERT(c.rank < geom_.ranksPerChannel, "rank out of range");
+    DBP_ASSERT(c.bank < geom_.banksPerRank, "bank out of range");
+    DBP_ASSERT(c.row < geom_.rowsPerBank, "row out of range");
+    DBP_ASSERT(c.col < geom_.colsPerRow(), "col out of range");
+
+    if (bankXor_ && bankBits_ > 0) {
+        // XOR with the same row bits is its own inverse.
+        auto mask = (1ULL << bankBits_) - 1;
+        c.bank = static_cast<unsigned>((c.bank ^ (c.row & mask)) & mask);
+    }
+
+    std::uint64_t line = 0;
+    unsigned shift = 0;
+
+    switch (scheme_) {
+      case MapScheme::PageInterleave: {
+        std::uint64_t col_lo = c.col & ((1ULL << pageLineBits_) - 1);
+        std::uint64_t slot = c.col >> pageLineBits_;
+        put(line, shift, col_lo, pageLineBits_);
+        put(line, shift, c.channel, chanBits_);
+        put(line, shift, c.rank, rankBits_);
+        put(line, shift, c.bank, bankBits_);
+        put(line, shift, slot, slotBits_);
+        put(line, shift, c.row, rowBits_);
+        break;
+      }
+      case MapScheme::RowInterleave: {
+        put(line, shift, c.col, colBits_);
+        put(line, shift, c.channel, chanBits_);
+        put(line, shift, c.rank, rankBits_);
+        put(line, shift, c.bank, bankBits_);
+        put(line, shift, c.row, rowBits_);
+        break;
+      }
+      case MapScheme::LineInterleave: {
+        put(line, shift, c.channel, chanBits_);
+        put(line, shift, c.rank, rankBits_);
+        put(line, shift, c.bank, bankBits_);
+        put(line, shift, c.col, colBits_);
+        put(line, shift, c.row, rowBits_);
+        break;
+      }
+    }
+
+    return line << lineBits_;
+}
+
+unsigned
+AddressMap::colorOf(const DramCoord &coord) const
+{
+    return ((coord.channel * geom_.ranksPerChannel) + coord.rank)
+        * geom_.banksPerRank + coord.bank;
+}
+
+AddressMap::ColorLocation
+AddressMap::colorLocation(unsigned color) const
+{
+    DBP_ASSERT(color < numColors(), "color out of range");
+    ColorLocation loc;
+    loc.bank = color % geom_.banksPerRank;
+    loc.rank = (color / geom_.banksPerRank) % geom_.ranksPerChannel;
+    loc.channel = color / (geom_.banksPerRank * geom_.ranksPerChannel);
+    return loc;
+}
+
+bool
+AddressMap::supportsBankColoring() const
+{
+    return scheme_ == MapScheme::PageInterleave && !bankXor_;
+}
+
+std::uint64_t
+AddressMap::framesPerColor() const
+{
+    DBP_ASSERT(supportsBankColoring(),
+               "framesPerColor only defined for PageInterleave");
+    return geom_.totalFrames() / numColors();
+}
+
+std::uint64_t
+AddressMap::frameOfColorIndex(unsigned color, std::uint64_t index) const
+{
+    DBP_ASSERT(supportsBankColoring(),
+               "frameOfColorIndex only defined for PageInterleave");
+    DBP_ASSERT(color < numColors(), "color out of range");
+    DBP_ASSERT(index < framesPerColor(), "frame index out of range");
+    // Frame number layout (LSB first): chan | rank | bank | slot | row.
+    // colorOf() orders colors as ((chan*ranks)+rank)*banks+bank, while
+    // the frame's low bits order them as chan lowest. Re-split color.
+    unsigned bank = color % geom_.banksPerRank;
+    unsigned rank = (color / geom_.banksPerRank) % geom_.ranksPerChannel;
+    unsigned chan = color / (geom_.banksPerRank * geom_.ranksPerChannel);
+
+    std::uint64_t frame = 0;
+    unsigned shift = 0;
+    put(frame, shift, chan, chanBits_);
+    put(frame, shift, rank, rankBits_);
+    put(frame, shift, bank, bankBits_);
+    put(frame, shift, index, slotBits_ + rowBits_);
+    return frame;
+}
+
+unsigned
+AddressMap::colorOfFrame(std::uint64_t frame) const
+{
+    DBP_ASSERT(supportsBankColoring(),
+               "colorOfFrame only defined for PageInterleave");
+    std::uint64_t f = frame;
+    auto chan = static_cast<unsigned>(take(f, chanBits_));
+    auto rank = static_cast<unsigned>(take(f, rankBits_));
+    auto bank = static_cast<unsigned>(take(f, bankBits_));
+    return ((chan * geom_.ranksPerChannel) + rank) * geom_.banksPerRank
+        + bank;
+}
+
+} // namespace dbpsim

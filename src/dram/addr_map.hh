@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Physical address <-> DRAM coordinate mapping.
+ *
+ * The mapping scheme determines which address bits select the channel,
+ * rank, bank, row and column. Bank partitioning via OS page coloring
+ * requires the {channel, rank, bank} bits to sit entirely above the
+ * page offset so that one physical frame lives wholly inside one bank
+ * (scheme PageInterleave). Line/row interleaving schemes are provided
+ * as unpartitionable baselines for ablations.
+ */
+
+#ifndef DBPSIM_DRAM_ADDR_MAP_HH
+#define DBPSIM_DRAM_ADDR_MAP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dbpsim {
+
+/**
+ * DRAM geometry. All counts must be powers of two.
+ */
+struct DramGeometry
+{
+    unsigned channels = 2;          ///< memory channels.
+    unsigned ranksPerChannel = 2;   ///< ranks per channel.
+    unsigned banksPerRank = 8;      ///< banks per rank.
+    std::uint64_t rowsPerBank = 32768; ///< rows per bank.
+    std::uint64_t rowBytes = 8192;  ///< row (page) size per bank.
+    std::uint64_t lineBytes = 64;   ///< cache-line / burst granularity.
+    std::uint64_t pageBytes = 4096; ///< OS frame size.
+
+    /** Total banks across the machine. */
+    unsigned totalBanks() const
+    {
+        return channels * ranksPerChannel * banksPerRank;
+    }
+
+    /** Line-sized columns per row. */
+    std::uint64_t colsPerRow() const { return rowBytes / lineBytes; }
+
+    /** Total capacity in bytes. */
+    std::uint64_t capacityBytes() const
+    {
+        return static_cast<std::uint64_t>(totalBanks()) * rowsPerBank
+            * rowBytes;
+    }
+
+    /** Total OS frames. */
+    std::uint64_t totalFrames() const { return capacityBytes() / pageBytes; }
+
+    /** Validate power-of-two-ness and size relations; "" when OK. */
+    std::string validate() const;
+};
+
+/**
+ * Decoded DRAM coordinates of one cache line.
+ */
+struct DramCoord
+{
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bank = 0;
+    std::uint64_t row = 0;
+    std::uint64_t col = 0; ///< line-sized column within the row.
+
+    bool operator==(const DramCoord &o) const = default;
+};
+
+/** Address bit-field ordering schemes. */
+enum class MapScheme
+{
+    /**
+     * [line-in-page][chan][rank][bank][page-slot-in-row][row].
+     * Frames are bank-homogeneous; required for bank partitioning.
+     */
+    PageInterleave,
+    /** [col][chan][rank][bank][row]: whole rows contiguous. */
+    RowInterleave,
+    /** [chan][rank][bank][col][row]: maximally spreads lines. */
+    LineInterleave,
+};
+
+/** Parse "page" / "row" / "line"; fatal() on anything else. */
+MapScheme mapSchemeByName(const std::string &name);
+
+/** Human-readable scheme name. */
+std::string mapSchemeName(MapScheme scheme);
+
+/**
+ * Bidirectional address translator for a geometry + scheme.
+ *
+ * A "color" identifies one physical bank machine-wide:
+ *   color = ((channel * ranksPerChannel) + rank) * banksPerRank + bank.
+ */
+class AddressMap
+{
+  public:
+    /**
+     * @param geom Validated DRAM geometry.
+     * @param scheme Field ordering.
+     * @param bank_xor If true, the bank field is XOR-permuted with the
+     *        low row bits (Zhang et al.) to spread conflicting rows.
+     *        Incompatible with OS bank partitioning; default off.
+     */
+    AddressMap(const DramGeometry &geom, MapScheme scheme,
+               bool bank_xor = false);
+
+    /** Decode a byte address into DRAM coordinates. */
+    DramCoord decode(Addr addr) const;
+
+    /** Inverse of decode; returns the line's base byte address. */
+    Addr encode(const DramCoord &coord) const;
+
+    /** Machine-wide bank color of a coordinate. */
+    unsigned colorOf(const DramCoord &coord) const;
+
+    /** Location of one color within the machine. */
+    struct ColorLocation
+    {
+        unsigned channel;
+        unsigned rank;
+        unsigned bank;
+    };
+
+    /** Inverse of colorOf: which (channel, rank, bank) a color names. */
+    ColorLocation colorLocation(unsigned color) const;
+
+    /** Number of colors (== total banks). */
+    unsigned numColors() const { return geom_.totalBanks(); }
+
+    /** Geometry in use. */
+    const DramGeometry &geometry() const { return geom_; }
+
+    /** Scheme in use. */
+    MapScheme scheme() const { return scheme_; }
+
+    /** True iff the bank-XOR permutation is enabled. */
+    bool bankXor() const { return bankXor_; }
+
+    /**
+     * True iff every byte of any OS frame maps to a single color, so
+     * frame-granular bank partitioning is sound. Holds exactly for
+     * PageInterleave without bank XOR.
+     */
+    bool supportsBankColoring() const;
+
+    /** OS frames per color (PageInterleave only). */
+    std::uint64_t framesPerColor() const;
+
+    /**
+     * Frame number of the @p index 'th frame of @p color
+     * (PageInterleave only; index < framesPerColor()).
+     */
+    std::uint64_t frameOfColorIndex(unsigned color,
+                                    std::uint64_t index) const;
+
+    /** Color of a frame number (PageInterleave only). */
+    unsigned colorOfFrame(std::uint64_t frame) const;
+
+  private:
+    DramGeometry geom_;
+    MapScheme scheme_;
+    bool bankXor_;
+
+    unsigned chanBits_;
+    unsigned rankBits_;
+    unsigned bankBits_;
+    unsigned rowBits_;
+    unsigned colBits_;
+    unsigned lineBits_;
+    unsigned pageLineBits_; ///< log2(pageBytes / lineBytes).
+    unsigned slotBits_;     ///< log2(rowBytes / pageBytes).
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_DRAM_ADDR_MAP_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Per-bank DRAM state: the open row and the earliest cycle at which
+ * each command class may next be issued to this bank. The channel is
+ * the only writer of these fields.
+ */
+
+#ifndef DBPSIM_DRAM_BANK_HH
+#define DBPSIM_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dbpsim {
+
+/**
+ * State of one DRAM bank.
+ */
+struct BankState
+{
+    /** True when a row is latched in the row buffer. */
+    bool open = false;
+
+    /** The open row (valid iff open). */
+    std::uint64_t row = 0;
+
+    /** Earliest cycle an ACTIVATE may issue (tRC, tRP, tRFC...). */
+    Cycle nextActivate = 0;
+
+    /** Earliest cycle a PRECHARGE may issue (tRAS, tRTP, write recovery). */
+    Cycle nextPrecharge = 0;
+
+    /** Earliest cycle a READ may issue (tRCD after ACT). */
+    Cycle nextRead = 0;
+
+    /** Earliest cycle a WRITE may issue (tRCD after ACT). */
+    Cycle nextWrite = 0;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_DRAM_BANK_HH

@@ -1,0 +1,269 @@
+#include "dram/channel.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+const char *
+dramCmdName(DramCmd cmd)
+{
+    switch (cmd) {
+      case DramCmd::Activate: return "ACT";
+      case DramCmd::Precharge: return "PRE";
+      case DramCmd::Read: return "RD";
+      case DramCmd::Write: return "WR";
+      case DramCmd::ReadAp: return "RDA";
+      case DramCmd::WriteAp: return "WRA";
+      case DramCmd::Refresh: return "REF";
+    }
+    DBP_PANIC("unreachable DramCmd");
+}
+
+DramChannel::DramChannel(const DramGeometry &geom, const DramTiming &timing,
+                         unsigned channel_id)
+    : timing_(timing), id_(channel_id), banksPerRank_(geom.banksPerRank)
+{
+    std::string err = timing.validate();
+    if (!err.empty())
+        fatal("invalid DRAM timing: ", err);
+
+    ranks_.resize(geom.ranksPerChannel);
+    banks_.resize(geom.ranksPerChannel);
+    for (auto &rank_banks : banks_)
+        rank_banks.resize(geom.banksPerRank);
+
+    // Stagger initial refresh deadlines so ranks don't refresh in
+    // lock-step (matches real controllers and avoids bus storms).
+    for (unsigned r = 0; r < ranks_.size(); ++r)
+        ranks_[r].refreshDueAt = timing_.tREFI * (r + 1)
+            / ranks_.size();
+}
+
+const BankState &
+DramChannel::bank(unsigned rank, unsigned bank_idx) const
+{
+    DBP_ASSERT(rank < ranks_.size(), "rank out of range");
+    DBP_ASSERT(bank_idx < banksPerRank_, "bank out of range");
+    return banks_[rank][bank_idx];
+}
+
+const RankState &
+DramChannel::rank(unsigned rank_idx) const
+{
+    DBP_ASSERT(rank_idx < ranks_.size(), "rank out of range");
+    return ranks_[rank_idx];
+}
+
+bool
+DramChannel::rowOpen(unsigned rank, unsigned bank_idx,
+                     std::uint64_t row) const
+{
+    const BankState &b = bank(rank, bank_idx);
+    return b.open && b.row == row;
+}
+
+bool
+DramChannel::fawBlocked(const RankState &r, Cycle now) const
+{
+    if (r.actWindowFill < 4)
+        return false;
+    // The oldest of the last four ACTs is at actWindowPtr (next to be
+    // overwritten). A fifth ACT must wait tFAW after it.
+    Cycle oldest = r.actWindow[r.actWindowPtr];
+    return now < oldest + timing_.tFAW;
+}
+
+bool
+DramChannel::dataBusOk(unsigned rank, bool is_write, Cycle now) const
+{
+    Cycle data_start = now + (is_write ? timing_.tCWL : timing_.tCL);
+    Cycle required = dataBusFreeAt_;
+    bool switch_penalty = lastDataRank_ >= 0 &&
+        (static_cast<unsigned>(lastDataRank_) != rank ||
+         lastDataWrite_ != is_write);
+    if (switch_penalty)
+        required += timing_.tRTRS;
+    return data_start >= required;
+}
+
+void
+DramChannel::occupyDataBus(unsigned rank, bool is_write, Cycle data_start,
+                           Cycle data_end)
+{
+    (void)data_start;
+    dataBusFreeAt_ = data_end;
+    lastDataRank_ = static_cast<int>(rank);
+    lastDataWrite_ = is_write;
+}
+
+bool
+DramChannel::canIssue(DramCmd cmd, unsigned rank_idx, unsigned bank_idx,
+                      std::uint64_t row, Cycle now) const
+{
+    DBP_ASSERT(rank_idx < ranks_.size(), "rank out of range");
+    const RankState &r = ranks_[rank_idx];
+
+    if (cmd != DramCmd::Refresh)
+        DBP_ASSERT(bank_idx < banksPerRank_, "bank out of range");
+
+    // A refreshing rank accepts nothing until tRFC elapses. (Bank
+    // nextActivate is also pushed out by refresh, but column commands
+    // and precharges must be blocked explicitly.)
+    if (r.refreshing(now))
+        return false;
+
+    switch (cmd) {
+      case DramCmd::Activate: {
+        const BankState &b = banks_[rank_idx][bank_idx];
+        if (b.open)
+            return false;
+        return now >= b.nextActivate && now >= r.nextActivate &&
+               !fawBlocked(r, now);
+      }
+      case DramCmd::Precharge: {
+        const BankState &b = banks_[rank_idx][bank_idx];
+        return now >= b.nextPrecharge;
+      }
+      case DramCmd::Read:
+      case DramCmd::ReadAp: {
+        const BankState &b = banks_[rank_idx][bank_idx];
+        if (!b.open || b.row != row)
+            return false;
+        return now >= b.nextRead && now >= r.nextRead &&
+               now >= nextColCmd_ && dataBusOk(rank_idx, false, now);
+      }
+      case DramCmd::Write:
+      case DramCmd::WriteAp: {
+        const BankState &b = banks_[rank_idx][bank_idx];
+        if (!b.open || b.row != row)
+            return false;
+        return now >= b.nextWrite && now >= nextColCmd_ &&
+               dataBusOk(rank_idx, true, now);
+      }
+      case DramCmd::Refresh: {
+        for (unsigned b = 0; b < banksPerRank_; ++b) {
+            const BankState &bs = banks_[rank_idx][b];
+            if (bs.open)
+                return false;
+            // All banks must have completed precharge (tRP folded
+            // into nextActivate by the PRE effect).
+            if (now < bs.nextActivate)
+                return false;
+        }
+        return true;
+      }
+    }
+    DBP_PANIC("unreachable DramCmd");
+}
+
+Cycle
+DramChannel::issue(DramCmd cmd, unsigned rank_idx, unsigned bank_idx,
+                   std::uint64_t row, Cycle now)
+{
+    DBP_ASSERT(canIssue(cmd, rank_idx, bank_idx, row, now),
+               "illegal " << dramCmdName(cmd) << " to ch" << id_
+               << " rank" << rank_idx << " bank" << bank_idx
+               << " row" << row << " at cycle " << now);
+
+    RankState &r = ranks_[rank_idx];
+
+    switch (cmd) {
+      case DramCmd::Activate: {
+        BankState &b = banks_[rank_idx][bank_idx];
+        b.open = true;
+        b.row = row;
+        b.nextRead = std::max(b.nextRead, now + timing_.tRCD);
+        b.nextWrite = std::max(b.nextWrite, now + timing_.tRCD);
+        b.nextPrecharge = std::max(b.nextPrecharge, now + timing_.tRAS);
+        b.nextActivate = std::max(b.nextActivate, now + timing_.tRC);
+        r.nextActivate = std::max(r.nextActivate, now + timing_.tRRD);
+        r.actWindow[r.actWindowPtr] = now;
+        r.actWindowPtr = (r.actWindowPtr + 1) % 4;
+        if (r.actWindowFill < 4)
+            ++r.actWindowFill;
+        statActs.inc();
+        return 0;
+      }
+      case DramCmd::Precharge: {
+        BankState &b = banks_[rank_idx][bank_idx];
+        b.open = false;
+        b.nextActivate = std::max(b.nextActivate, now + timing_.tRP);
+        statPrecharges.inc();
+        return 0;
+      }
+      case DramCmd::Read:
+      case DramCmd::ReadAp: {
+        BankState &b = banks_[rank_idx][bank_idx];
+        Cycle data_start = now + timing_.tCL;
+        Cycle data_end = data_start + timing_.tBURST;
+        occupyDataBus(rank_idx, false, data_start, data_end);
+        nextColCmd_ = now + timing_.tCCD;
+        b.nextPrecharge = std::max(b.nextPrecharge, now + timing_.tRTP);
+        if (cmd == DramCmd::ReadAp) {
+            b.open = false;
+            b.nextActivate = std::max(
+                b.nextActivate, now + timing_.tRTP + timing_.tRP);
+            statPrecharges.inc();
+        }
+        statReads.inc();
+        return data_end;
+      }
+      case DramCmd::Write:
+      case DramCmd::WriteAp: {
+        BankState &b = banks_[rank_idx][bank_idx];
+        Cycle data_start = now + timing_.tCWL;
+        Cycle data_end = data_start + timing_.tBURST;
+        occupyDataBus(rank_idx, true, data_start, data_end);
+        nextColCmd_ = now + timing_.tCCD;
+        b.nextPrecharge = std::max(b.nextPrecharge,
+                                   data_end + timing_.tWR);
+        r.nextRead = std::max(r.nextRead, data_end + timing_.tWTR);
+        if (cmd == DramCmd::WriteAp) {
+            b.open = false;
+            b.nextActivate = std::max(
+                b.nextActivate, data_end + timing_.tWR + timing_.tRP);
+            statPrecharges.inc();
+        }
+        statWrites.inc();
+        return data_end;
+      }
+      case DramCmd::Refresh: {
+        for (unsigned b = 0; b < banksPerRank_; ++b) {
+            BankState &bs = banks_[rank_idx][b];
+            bs.nextActivate = std::max(bs.nextActivate,
+                                       now + timing_.tRFC);
+        }
+        r.refreshDoneAt = now + timing_.tRFC;
+        r.refreshDueAt += timing_.tREFI;
+        statRefreshes.inc();
+        return 0;
+      }
+    }
+    DBP_PANIC("unreachable DramCmd");
+}
+
+bool
+DramChannel::refreshPending(unsigned rank_idx, Cycle now) const
+{
+    DBP_ASSERT(rank_idx < ranks_.size(), "rank out of range");
+    const RankState &r = ranks_[rank_idx];
+    return !r.refreshing(now) && now >= r.refreshDueAt;
+}
+
+void
+DramChannel::blockBank(unsigned rank_idx, unsigned bank_idx, Cycle now,
+                       Cycle busy)
+{
+    DBP_ASSERT(rank_idx < ranks_.size(), "rank out of range");
+    DBP_ASSERT(bank_idx < banksPerRank_, "bank out of range");
+    BankState &b = banks_[rank_idx][bank_idx];
+    Cycle until = now + busy;
+    b.nextActivate = std::max(b.nextActivate, until);
+    b.nextPrecharge = std::max(b.nextPrecharge, until);
+    b.nextRead = std::max(b.nextRead, until);
+    b.nextWrite = std::max(b.nextWrite, until);
+}
+
+} // namespace dbpsim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Cycle-level model of one DRAM channel: ranks of banks, the shared
+ * command and data buses, and the full DDR3 timing rule set.
+ *
+ * The memory controller drives this model: each memory-bus cycle it
+ * may ask whether a command is legal (canIssue) and then issue it.
+ * issue() updates all affected earliest-next-command times and, for
+ * column commands, returns the cycle at which the data burst finishes
+ * (when read data is available to the requester).
+ */
+
+#ifndef DBPSIM_DRAM_CHANNEL_HH
+#define DBPSIM_DRAM_CHANNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/addr_map.hh"
+#include "dram/bank.hh"
+#include "dram/rank.hh"
+#include "dram/timing.hh"
+
+namespace dbpsim {
+
+/** DRAM command types the controller can issue. */
+enum class DramCmd
+{
+    Activate,
+    Precharge,
+    Read,
+    Write,
+    ReadAp,  ///< READ with auto-precharge (closed-page policy).
+    WriteAp, ///< WRITE with auto-precharge.
+    Refresh, ///< all-bank auto-refresh (rank granular).
+};
+
+/** Printable command name. */
+const char *dramCmdName(DramCmd cmd);
+
+/**
+ * One DRAM channel.
+ */
+class DramChannel
+{
+  public:
+    /**
+     * @param geom Machine geometry (rank/bank counts are read from it).
+     * @param timing Timing rule set in bus cycles.
+     * @param channel_id Identifier for diagnostics.
+     */
+    DramChannel(const DramGeometry &geom, const DramTiming &timing,
+                unsigned channel_id);
+
+    /**
+     * Is @p cmd legal at cycle @p now?
+     *
+     * For Read/Write/ReadAp/WriteAp, @p row must equal the open row.
+     * For Refresh, @p bank is ignored. Commands to a refreshing rank
+     * are illegal until the refresh completes.
+     */
+    bool canIssue(DramCmd cmd, unsigned rank, unsigned bank,
+                  std::uint64_t row, Cycle now) const;
+
+    /**
+     * Issue @p cmd at cycle @p now; must be legal (checked).
+     *
+     * @return For column commands, the cycle the data burst completes
+     * (read data available / write retired); 0 for other commands.
+     */
+    Cycle issue(DramCmd cmd, unsigned rank, unsigned bank,
+                std::uint64_t row, Cycle now);
+
+    /** True once rank @p rank's refresh deadline has passed. */
+    bool refreshPending(unsigned rank, Cycle now) const;
+
+    /** Read-only bank state (for schedulers and tests). */
+    const BankState &bank(unsigned rank, unsigned bank_idx) const;
+
+    /** Read-only rank state (for tests). */
+    const RankState &rank(unsigned rank_idx) const;
+
+    /** True iff row @p row is open in the given bank. */
+    bool rowOpen(unsigned rank, unsigned bank_idx, std::uint64_t row) const;
+
+    /** Channel id. */
+    unsigned id() const { return id_; }
+
+    /** Ranks in this channel. */
+    unsigned numRanks() const { return static_cast<unsigned>(ranks_.size()); }
+
+    /** Banks per rank. */
+    unsigned numBanks() const { return banksPerRank_; }
+
+    /** Timing in use. */
+    const DramTiming &timing() const { return timing_; }
+
+    /**
+     * Artificially occupy a bank for @p busy cycles starting at @p now
+     * (used by the page-migration cost model). Blocks ACT/PRE/column
+     * commands to that bank until now + busy.
+     */
+    void blockBank(unsigned rank, unsigned bank_idx, Cycle now, Cycle busy);
+
+    /** @name Command counters (for the energy model and tests). */
+    /// @{
+    StatScalar statActs;
+    StatScalar statPrecharges;
+    StatScalar statReads;
+    StatScalar statWrites;
+    StatScalar statRefreshes;
+    /// @}
+
+  private:
+    /** Data-bus availability for a column command issued at @p now. */
+    bool dataBusOk(unsigned rank, bool is_write, Cycle now) const;
+
+    /** Record a data burst occupying the bus. */
+    void occupyDataBus(unsigned rank, bool is_write, Cycle data_start,
+                       Cycle data_end);
+
+    /** True iff a 5th ACT in the tFAW window would be premature. */
+    bool fawBlocked(const RankState &r, Cycle now) const;
+
+    DramTiming timing_;
+    unsigned id_;
+    unsigned banksPerRank_;
+
+    std::vector<RankState> ranks_;
+    std::vector<std::vector<BankState>> banks_; ///< [rank][bank].
+
+    Cycle nextColCmd_ = 0;     ///< tCCD between column commands.
+    Cycle dataBusFreeAt_ = 0;  ///< end of last data burst.
+    int lastDataRank_ = -1;    ///< rank of last data burst.
+    bool lastDataWrite_ = false; ///< direction of last data burst.
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_DRAM_CHANNEL_HH

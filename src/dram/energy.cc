@@ -1,0 +1,25 @@
+#include "dram/energy.hh"
+
+namespace dbpsim {
+
+DramEnergyBreakdown
+dramEnergy(const DramChannel &channel, Cycle cycles,
+           const DramEnergyParams &params)
+{
+    DramEnergyBreakdown out;
+    // Precharge energy is folded into the ACT+PRE pair constant; count
+    // pairs by activates (every activate is eventually precharged).
+    out.actPreNj = channel.statActs.value() * params.actPrePj * 1e-3;
+    out.readNj = channel.statReads.value() * params.readPj * 1e-3;
+    out.writeNj = channel.statWrites.value() * params.writePj * 1e-3;
+    out.refreshNj =
+        channel.statRefreshes.value() * params.refreshPj * 1e-3;
+
+    double seconds = static_cast<double>(cycles) *
+        static_cast<double>(channel.timing().tckPs) * 1e-12;
+    out.backgroundNj = params.backgroundMwPerRank * 1e-3 *
+        channel.numRanks() * seconds * 1e9;
+    return out;
+}
+
+} // namespace dbpsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A coarse DRAM energy model: per-command energies plus background
+ * power, in the style of the Micron DDR3 power calculator. Used for
+ * reporting only; it does not feed back into timing.
+ */
+
+#ifndef DBPSIM_DRAM_ENERGY_HH
+#define DBPSIM_DRAM_ENERGY_HH
+
+#include <cstdint>
+
+#include "dram/channel.hh"
+
+namespace dbpsim {
+
+/**
+ * Per-operation energy constants (picojoules) for one DDR3 device
+ * group (a rank's worth of x8 devices behind one channel).
+ */
+struct DramEnergyParams
+{
+    double actPrePj = 3200.0;    ///< one ACT+PRE pair.
+    double readPj = 2100.0;      ///< one READ burst.
+    double writePj = 2200.0;     ///< one WRITE burst.
+    double refreshPj = 25000.0;  ///< one all-bank refresh.
+    double backgroundMwPerRank = 75.0; ///< standby power per rank.
+};
+
+/**
+ * Energy summary for one channel over an interval.
+ */
+struct DramEnergyBreakdown
+{
+    double actPreNj = 0.0;
+    double readNj = 0.0;
+    double writeNj = 0.0;
+    double refreshNj = 0.0;
+    double backgroundNj = 0.0;
+
+    /** Total energy in nanojoules. */
+    double totalNj() const
+    {
+        return actPreNj + readNj + writeNj + refreshNj + backgroundNj;
+    }
+};
+
+/**
+ * Compute the energy consumed by @p channel over @p cycles bus cycles.
+ */
+DramEnergyBreakdown dramEnergy(const DramChannel &channel, Cycle cycles,
+                               const DramEnergyParams &params = {});
+
+} // namespace dbpsim
+
+#endif // DBPSIM_DRAM_ENERGY_HH

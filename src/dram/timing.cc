@@ -1,0 +1,101 @@
+#include "dram/timing.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+std::string
+DramTiming::validate() const
+{
+    std::ostringstream os;
+    if (tRC < tRAS + tRP) {
+        os << name << ": tRC (" << tRC << ") < tRAS + tRP ("
+           << tRAS + tRP << ")";
+        return os.str();
+    }
+    if (tFAW < tRRD) {
+        os << name << ": tFAW (" << tFAW << ") < tRRD (" << tRRD << ")";
+        return os.str();
+    }
+    if (tBURST == 0 || tCL == 0 || tCWL == 0 || tRCD == 0 || tRP == 0) {
+        os << name << ": zero-valued core timing parameter";
+        return os.str();
+    }
+    if (tREFI <= tRFC) {
+        os << name << ": tREFI (" << tREFI << ") <= tRFC (" << tRFC << ")";
+        return os.str();
+    }
+    return std::string();
+}
+
+DramTiming
+ddr3_1600()
+{
+    return DramTiming{};
+}
+
+DramTiming
+ddr3_1333()
+{
+    DramTiming t;
+    t.name = "DDR3-1333";
+    t.tckPs = 1500;
+    t.tRCD = 9;
+    t.tRP = 9;
+    t.tCL = 9;
+    t.tCWL = 7;
+    t.tRAS = 24;
+    t.tRC = 33;
+    t.tWR = 10;
+    t.tWTR = 5;
+    t.tRTP = 5;
+    t.tCCD = 4;
+    t.tRRD = 4;
+    t.tFAW = 20;
+    t.tBURST = 4;
+    t.tRTRS = 2;
+    t.tREFI = 5200;
+    t.tRFC = 107;
+    return t;
+}
+
+DramTiming
+ddr3_1066()
+{
+    DramTiming t;
+    t.name = "DDR3-1066";
+    t.tckPs = 1875;
+    t.tRCD = 8;
+    t.tRP = 8;
+    t.tCL = 8;
+    t.tCWL = 6;
+    t.tRAS = 20;
+    t.tRC = 28;
+    t.tWR = 8;
+    t.tWTR = 4;
+    t.tRTP = 4;
+    t.tCCD = 4;
+    t.tRRD = 4;
+    t.tFAW = 16;
+    t.tBURST = 4;
+    t.tRTRS = 2;
+    t.tREFI = 4160;
+    t.tRFC = 86;
+    return t;
+}
+
+DramTiming
+dramTimingByName(const std::string &name)
+{
+    if (name == "ddr3-1600" || name == "DDR3-1600")
+        return ddr3_1600();
+    if (name == "ddr3-1333" || name == "DDR3-1333")
+        return ddr3_1333();
+    if (name == "ddr3-1066" || name == "DDR3-1066")
+        return ddr3_1066();
+    fatal("unknown DRAM timing preset '", name, "'");
+}
+
+} // namespace dbpsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * DDR timing parameter sets.
+ *
+ * All values are in memory-bus clock cycles (the controller and the
+ * DRAM device tick at the bus clock; the CPU ticks cpuRatio times per
+ * bus cycle). Presets follow published DDR3 datasheet values rounded
+ * up to whole cycles, as simulator configuration tables in the
+ * memory-scheduling literature do.
+ */
+
+#ifndef DBPSIM_DRAM_TIMING_HH
+#define DBPSIM_DRAM_TIMING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace dbpsim {
+
+/**
+ * One DDR speed grade's timing constraints, in bus cycles.
+ */
+struct DramTiming
+{
+    std::string name = "DDR3-1600";
+
+    /** Bus clock period in picoseconds (for reporting/energy only). */
+    std::uint64_t tckPs = 1250;
+
+    Cycle tRCD = 11;   ///< ACT -> column command, same bank.
+    Cycle tRP = 11;    ///< PRE -> ACT, same bank.
+    Cycle tCL = 11;    ///< READ -> first data beat.
+    Cycle tCWL = 8;    ///< WRITE -> first data beat.
+    Cycle tRAS = 28;   ///< ACT -> PRE, same bank.
+    Cycle tRC = 39;    ///< ACT -> ACT, same bank (tRAS + tRP).
+    Cycle tWR = 12;    ///< end of write data -> PRE, same bank.
+    Cycle tWTR = 6;    ///< end of write data -> READ, same rank.
+    Cycle tRTP = 6;    ///< READ -> PRE, same bank.
+    Cycle tCCD = 4;    ///< column command -> column command.
+    Cycle tRRD = 5;    ///< ACT -> ACT, different banks, same rank.
+    Cycle tFAW = 24;   ///< window for at most four ACTs per rank.
+    Cycle tBURST = 4;  ///< data burst length on the bus (BL8 / 2).
+    Cycle tRTRS = 2;   ///< rank-to-rank data-bus switch penalty.
+    Cycle tREFI = 6240;///< average refresh interval.
+    Cycle tRFC = 128;  ///< refresh cycle time.
+
+    /**
+     * Sanity-check internal consistency (e.g. tRC >= tRAS + tRP).
+     * Returns an empty string when valid, else a description of the
+     * first violated relation.
+     */
+    std::string validate() const;
+};
+
+/** DDR3-1600 (800 MHz bus) 11-11-11 preset; the evaluation default. */
+DramTiming ddr3_1600();
+
+/** DDR3-1333 (667 MHz bus) 9-9-9 preset. */
+DramTiming ddr3_1333();
+
+/** DDR3-1066 (533 MHz bus) 8-8-8 preset (sensitivity studies). */
+DramTiming ddr3_1066();
+
+/** Look up a preset by name ("ddr3-1600", ...); fatal() if unknown. */
+DramTiming dramTimingByName(const std::string &name);
+
+} // namespace dbpsim
+
+#endif // DBPSIM_DRAM_TIMING_HH

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Per-channel memory controller.
+ *
+ * Owns the read/write request queues and a DramChannel, and turns the
+ * scheduler's priority order into legal DDR command sequences:
+ * precharge (guarded so no higher-priority row hit is destroyed),
+ * activate, column command. Handles refresh with priority, write-drain
+ * hysteresis with watermarks, write-to-read forwarding, and per-thread
+ * service statistics. At most one command issues per bus cycle (the
+ * command-bus constraint).
+ */
+
+#ifndef DBPSIM_MEM_CONTROLLER_HH
+#define DBPSIM_MEM_CONTROLLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/addr_map.hh"
+#include "dram/channel.hh"
+#include "mem/profiler.hh"
+#include "mem/request.hh"
+#include "mem/scheduler.hh"
+
+namespace dbpsim {
+
+/**
+ * Row-buffer management policy.
+ */
+enum class PagePolicy
+{
+    Open,         ///< leave rows open; FR-FCFS exploits hits.
+    Closed,       ///< auto-precharge when no queued request wants the row.
+    OpenAdaptive, ///< keep rows open, but close a row idle beyond
+                  ///< rowIdleTimeout with no queued requester —
+                  ///< hides tRP for the next conflict while keeping
+                  ///< hit streaks intact.
+};
+
+/**
+ * Controller configuration.
+ */
+struct ControllerParams
+{
+    unsigned numThreads = 8;       ///< for per-thread stats sizing.
+    unsigned readQueueSize = 64;   ///< read queue capacity.
+    unsigned writeQueueSize = 64;  ///< write queue capacity.
+    unsigned writeHiWatermark = 48;///< enter write-drain mode at/above.
+    unsigned writeLoWatermark = 16;///< leave write-drain mode at/below.
+    unsigned idleWriteThresh = 8;  ///< drain opportunistically when
+                                   ///< reads are absent and this many
+                                   ///< writes wait.
+    Cycle forwardLatency = 2;      ///< write-to-read forward latency.
+    PagePolicy pagePolicy = PagePolicy::Open;
+    Cycle rowIdleTimeout = 100;    ///< OpenAdaptive idle-close bound.
+};
+
+/**
+ * Per-thread service counters kept by each controller.
+ */
+struct ControllerThreadStats
+{
+    std::uint64_t reads = 0;        ///< read column commands issued.
+    std::uint64_t writes = 0;       ///< write column commands issued.
+    std::uint64_t rowHits = 0;      ///< served without an ACTIVATE.
+    std::uint64_t rowMisses = 0;    ///< needed an ACTIVATE (and maybe PRE).
+    std::uint64_t readsCompleted = 0;
+    std::uint64_t readLatencySum = 0; ///< bus cycles, enqueue -> data.
+};
+
+/**
+ * The controller.
+ */
+class MemoryController : public QueueView
+{
+  public:
+    /**
+     * @param channel_id This controller's channel index.
+     * @param map Shared address map (bank-color arithmetic).
+     * @param timing DDR timing preset.
+     * @param params Queue/drain configuration.
+     * @param scheduler Shared scheduling policy (not owned).
+     * @param profiler Shared run-time profiler; may be null.
+     */
+    MemoryController(unsigned channel_id, const AddressMap &map,
+                     const DramTiming &timing, ControllerParams params,
+                     Scheduler *scheduler, ThreadProfiler *profiler);
+
+    /**
+     * Enqueue a load. Returns false when the read queue is full
+     * (backpressure: the core retries next cycle).
+     */
+    bool enqueueRead(Addr paddr, ThreadId tid, MemClient *client,
+                     std::uint64_t tag, Cycle now);
+
+    /**
+     * Enqueue a store (posted; no completion callback). Returns false
+     * when the write queue is full.
+     */
+    bool enqueueWrite(Addr paddr, ThreadId tid, Cycle now);
+
+    /** Advance one memory-bus cycle: completions, refresh, one command. */
+    void tick(Cycle now);
+
+    /** QueueView: iterate queued (not yet issued) reads. */
+    void forEachPendingRead(
+        const std::function<void(MemRequest &)> &fn) override;
+
+    /** Charge page-migration traffic to a bank (cost model). */
+    void applyMigrationCost(unsigned rank, unsigned bank, Cycle now,
+                            Cycle busy_cycles);
+
+    /** Queued reads. */
+    std::size_t readQueueDepth() const { return readQ_.size(); }
+
+    /** Queued writes. */
+    std::size_t writeQueueDepth() const { return writeQ_.size(); }
+
+    /** Reads issued to DRAM and awaiting data. */
+    std::size_t inflightReads() const { return inflight_.size(); }
+
+    /** True while draining writes. */
+    bool inWriteMode() const { return writeMode_; }
+
+    /** The DRAM channel (tests, energy reporting). */
+    const DramChannel &channel() const { return channel_; }
+
+    /** Per-thread counters. */
+    const ControllerThreadStats &threadStats(ThreadId tid) const;
+
+    /**
+     * Per-thread read-latency histogram (bus cycles, 8-cycle buckets,
+     * overflow beyond 1024): the tail-latency view of interference.
+     */
+    const StatHistogram &latencyHistogram(ThreadId tid) const;
+
+    /** Sum of all queued+inflight requests (drain checks). */
+    std::size_t pendingRequests() const
+    {
+        return readQ_.size() + writeQ_.size() + inflight_.size();
+    }
+
+    /** @name Aggregate stats. */
+    /// @{
+    StatScalar statIdleRowCloses; ///< OpenAdaptive precharges issued.
+    StatScalar statReadsEnqueued;
+    StatScalar statWritesEnqueued;
+    StatScalar statWriteForwards;  ///< reads served from the write queue.
+    StatScalar statWriteCoalesced; ///< writes merged into queued writes.
+    StatScalar statReadQueueFull;
+    StatScalar statWriteQueueFull;
+    /// @}
+
+  private:
+    /** The next DRAM command request @p req needs right now. */
+    struct NextCmd
+    {
+        DramCmd cmd = DramCmd::Activate;
+        std::uint64_t row = 0; ///< row argument for issue().
+        bool valid = false;
+    };
+
+    /** Deliver finished reads at or before @p now. */
+    void completeReads(Cycle now);
+
+    /** Progress refresh; true if a command was issued this cycle. */
+    bool serviceRefresh(Cycle now);
+
+    /** Recompute write-drain mode from queue depths. */
+    void updateDrainMode();
+
+    /**
+     * Pick and issue one command from @p queue (current mode).
+     * Returns true if a command issued.
+     */
+    bool issueFromQueue(std::vector<MemRequest> &queue, bool writes,
+                        Cycle now);
+
+    /** Determine @p req's next command under the page policy. */
+    NextCmd nextCommandFor(const MemRequest &req,
+                           const std::vector<MemRequest> &queue) const;
+
+    /** Machine-wide color of a coordinate (profiler indexing). */
+    unsigned colorOf(const DramCoord &coord) const;
+
+    const AddressMap &map_;
+    ControllerParams params_;
+    DramChannel channel_;
+    Scheduler *scheduler_;
+    ThreadProfiler *profiler_;
+
+    std::vector<MemRequest> readQ_;
+    std::vector<MemRequest> writeQ_;
+
+    /** A read issued to DRAM, waiting for its data burst to finish. */
+    struct Inflight
+    {
+        Cycle doneAt;
+        MemClient *client;
+        std::uint64_t tag;
+        ThreadId tid;
+        unsigned color;
+        std::uint64_t row;
+        Cycle enqueueCycle;
+    };
+    std::vector<Inflight> inflight_;
+
+    /** Forwarded reads complete on a short fixed delay. */
+    std::vector<Inflight> forwarded_;
+
+    /** Close rows idle past the timeout (OpenAdaptive); true if a
+     *  precharge was issued. */
+    bool closeIdleRows(Cycle now);
+
+    std::vector<ControllerThreadStats> threadStats_;
+    std::vector<StatHistogram> latencyHist_;
+
+    /** Last column-command cycle per (rank, bank) (OpenAdaptive). */
+    std::vector<Cycle> lastColumnUse_;
+    bool writeMode_ = false;
+    std::uint64_t nextReqId_ = 0;
+    std::vector<bool> rankRefreshBlocked_; ///< scratch, per tick.
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_MEM_CONTROLLER_HH

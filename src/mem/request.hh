@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The memory request type exchanged between cores, the OS layer, and
+ * the per-channel memory controllers, plus the completion-callback
+ * interface cores implement.
+ */
+
+#ifndef DBPSIM_MEM_REQUEST_HH
+#define DBPSIM_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/addr_map.hh"
+
+namespace dbpsim {
+
+/**
+ * Receiver of read completions. Cores implement this; the controller
+ * calls back with the tag the core attached to the request.
+ */
+class MemClient
+{
+  public:
+    virtual ~MemClient() = default;
+
+    /** Read data for request @p tag has returned from DRAM. */
+    virtual void readComplete(std::uint64_t tag) = 0;
+};
+
+/**
+ * One in-flight memory request (a full cache line).
+ */
+struct MemRequest
+{
+    /** Physical byte address (line aligned). */
+    Addr paddr = 0;
+
+    /** Pre-decoded DRAM coordinates of paddr. */
+    DramCoord coord;
+
+    /** Store (true) or load (false). */
+    bool write = false;
+
+    /** Owning hardware thread. */
+    ThreadId tid = kInvalidThread;
+
+    /** Controller-local monotonically increasing id (age tiebreak). */
+    std::uint64_t id = 0;
+
+    /** Memory-bus cycle the request entered the controller. */
+    Cycle enqueueCycle = 0;
+
+    /** PAR-BS: request belongs to the current batch. */
+    bool marked = false;
+
+    /** An ACTIVATE has been issued on behalf of this request. */
+    bool triggeredAct = false;
+
+    /** Completion callback (loads only; may be null). */
+    MemClient *client = nullptr;
+
+    /** Opaque tag echoed to the client. */
+    std::uint64_t tag = 0;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_MEM_REQUEST_HH

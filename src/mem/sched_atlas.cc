@@ -1,0 +1,89 @@
+#include "mem/sched_atlas.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+AtlasScheduler::AtlasScheduler(unsigned num_threads, Cycle burst_cycles,
+                               AtlasParams params)
+    : numThreads_(num_threads), burstCycles_(burst_cycles),
+      params_(params), nextQuantumEnd_(params.quantum)
+{
+    DBP_ASSERT(num_threads > 0, "atlas needs >= 1 thread");
+    DBP_ASSERT(params_.quantum > 0, "atlas quantum must be > 0");
+    DBP_ASSERT(params_.alpha >= 0.0 && params_.alpha < 1.0,
+               "atlas alpha out of [0,1)");
+    attained_.assign(num_threads, 0.0);
+    quantumService_.assign(num_threads, 0.0);
+    rank_.assign(num_threads, 0);
+}
+
+int
+AtlasScheduler::rankOf(ThreadId tid) const
+{
+    if (tid < 0 || static_cast<unsigned>(tid) >= numThreads_)
+        return -1;
+    return rank_[static_cast<unsigned>(tid)];
+}
+
+double
+AtlasScheduler::attainedService(ThreadId tid) const
+{
+    DBP_ASSERT(tid >= 0 && static_cast<unsigned>(tid) < numThreads_,
+               "atlas: bad thread id");
+    return attained_[static_cast<unsigned>(tid)];
+}
+
+void
+AtlasScheduler::onComplete(const MemRequest &req, Cycle now)
+{
+    (void)now;
+    if (req.tid >= 0 && static_cast<unsigned>(req.tid) < numThreads_)
+        quantumService_[static_cast<unsigned>(req.tid)] +=
+            static_cast<double>(burstCycles_);
+}
+
+void
+AtlasScheduler::tick(Cycle now)
+{
+    if (now < nextQuantumEnd_)
+        return;
+    nextQuantumEnd_ += params_.quantum;
+
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        attained_[t] = params_.alpha * attained_[t] +
+            (1.0 - params_.alpha) * quantumService_[t];
+        quantumService_[t] = 0.0;
+    }
+
+    // Least attained service -> highest rank.
+    std::vector<unsigned> order(numThreads_);
+    for (unsigned t = 0; t < numThreads_; ++t)
+        order[t] = t;
+    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+        if (attained_[a] != attained_[b])
+            return attained_[a] < attained_[b];
+        return a < b;
+    });
+    for (unsigned pos = 0; pos < order.size(); ++pos)
+        rank_[order[pos]] = static_cast<int>(numThreads_ - pos);
+}
+
+bool
+AtlasScheduler::higherPriority(const MemRequest &a, const MemRequest &b,
+                               const SchedContext &ctx) const
+{
+    int ra = rankOf(a.tid);
+    int rb = rankOf(b.tid);
+    if (ra != rb)
+        return ra > rb;
+    bool ha = ctx.rowHit(a);
+    bool hb = ctx.rowHit(b);
+    if (ha != hb)
+        return ha;
+    return olderFirst(a, b);
+}
+
+} // namespace dbpsim

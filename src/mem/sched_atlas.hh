@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ATLAS (Kim et al., HPCA 2010): adaptive per-thread least-attained-
+ * service scheduling. Every long quantum, threads are ranked by their
+ * exponentially smoothed attained DRAM service; the thread with the
+ * least attained service is served first, which favours light threads
+ * and maximizes system throughput (at a known cost in fairness for
+ * heavy threads — the behaviour TCM later fixed).
+ */
+
+#ifndef DBPSIM_MEM_SCHED_ATLAS_HH
+#define DBPSIM_MEM_SCHED_ATLAS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/scheduler.hh"
+
+namespace dbpsim {
+
+/**
+ * ATLAS configuration.
+ */
+struct AtlasParams
+{
+    /** Quantum length in memory-bus cycles. */
+    Cycle quantum = 2'500'000;
+
+    /** Exponential smoothing weight on history. */
+    double alpha = 0.875;
+};
+
+/**
+ * The ATLAS scheduler.
+ */
+class AtlasScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param num_threads Hardware threads.
+     * @param burst_cycles Data-burst length (service accounting unit).
+     */
+    AtlasScheduler(unsigned num_threads, Cycle burst_cycles,
+                   AtlasParams params = {});
+
+    std::string name() const override { return "atlas"; }
+
+    bool higherPriority(const MemRequest &a, const MemRequest &b,
+                        const SchedContext &ctx) const override;
+
+    void tick(Cycle now) override;
+    void onComplete(const MemRequest &req, Cycle now) override;
+
+    /** Smoothed attained service of a thread (tests). */
+    double attainedService(ThreadId tid) const;
+
+  private:
+    int rankOf(ThreadId tid) const;
+
+    unsigned numThreads_;
+    Cycle burstCycles_;
+    AtlasParams params_;
+
+    std::vector<double> attained_;   ///< smoothed service history.
+    std::vector<double> quantumService_;
+    std::vector<int> rank_;
+    Cycle nextQuantumEnd_;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_MEM_SCHED_ATLAS_HH

@@ -1,0 +1,69 @@
+#include "mem/sched_bliss.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+BlissScheduler::BlissScheduler(unsigned num_threads, BlissParams params)
+    : numThreads_(num_threads), params_(params),
+      nextClear_(params.clearInterval)
+{
+    DBP_ASSERT(num_threads > 0, "bliss needs >= 1 thread");
+    DBP_ASSERT(params_.blacklistCap > 0, "bliss cap must be >= 1");
+    DBP_ASSERT(params_.clearInterval > 0, "bliss interval must be > 0");
+    blacklist_.assign(num_threads, false);
+}
+
+bool
+BlissScheduler::blacklisted(ThreadId tid) const
+{
+    if (tid < 0 || static_cast<unsigned>(tid) >= numThreads_)
+        return false;
+    return blacklist_[static_cast<unsigned>(tid)];
+}
+
+void
+BlissScheduler::onDequeue(const MemRequest &req)
+{
+    if (req.tid == lastServed_) {
+        if (++streak_ >= params_.blacklistCap && req.tid >= 0 &&
+            static_cast<unsigned>(req.tid) < numThreads_ &&
+            !blacklist_[static_cast<unsigned>(req.tid)]) {
+            blacklist_[static_cast<unsigned>(req.tid)] = true;
+            ++events_;
+        }
+    } else {
+        lastServed_ = req.tid;
+        streak_ = 1;
+    }
+}
+
+void
+BlissScheduler::tick(Cycle now)
+{
+    if (now < nextClear_)
+        return;
+    nextClear_ += params_.clearInterval;
+    std::fill(blacklist_.begin(), blacklist_.end(), false);
+    streak_ = 0;
+    lastServed_ = kInvalidThread;
+}
+
+bool
+BlissScheduler::higherPriority(const MemRequest &a, const MemRequest &b,
+                               const SchedContext &ctx) const
+{
+    bool ba = blacklisted(a.tid);
+    bool bb = blacklisted(b.tid);
+    if (ba != bb)
+        return !ba; // non-blacklisted first.
+    bool ha = ctx.rowHit(a);
+    bool hb = ctx.rowHit(b);
+    if (ha != hb)
+        return ha;
+    return olderFirst(a, b);
+}
+
+} // namespace dbpsim

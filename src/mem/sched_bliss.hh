@@ -1,0 +1,74 @@
+/**
+ * @file
+ * BLISS — the Blacklisting memory scheduler (Usui, Subramanian, Chang,
+ * Mutlu; contemporaneous with the DBP paper). Included as an extension
+ * baseline: it achieves much of TCM's benefit with almost no state.
+ *
+ * Mechanism: the controller observes streaks of consecutively served
+ * requests from the same application; an application whose streak
+ * reaches blacklistCap is *blacklisted*. Non-blacklisted requests beat
+ * blacklisted ones; within a group the order is row-hit then age. The
+ * blacklist is cleared every clearInterval cycles, so heavy threads
+ * time-share the non-blacklisted (fast) lane.
+ */
+
+#ifndef DBPSIM_MEM_SCHED_BLISS_HH
+#define DBPSIM_MEM_SCHED_BLISS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/scheduler.hh"
+
+namespace dbpsim {
+
+/**
+ * BLISS configuration.
+ */
+struct BlissParams
+{
+    /** Consecutive services that trigger blacklisting. */
+    unsigned blacklistCap = 4;
+
+    /** Blacklist-clearing period in bus cycles. */
+    Cycle clearInterval = 10'000;
+};
+
+/**
+ * The BLISS scheduler.
+ */
+class BlissScheduler : public Scheduler
+{
+  public:
+    /** @param num_threads Hardware threads. */
+    explicit BlissScheduler(unsigned num_threads,
+                            BlissParams params = {});
+
+    std::string name() const override { return "bliss"; }
+
+    bool higherPriority(const MemRequest &a, const MemRequest &b,
+                        const SchedContext &ctx) const override;
+
+    void tick(Cycle now) override;
+    void onDequeue(const MemRequest &req) override;
+
+    /** Is a thread currently blacklisted? (tests) */
+    bool blacklisted(ThreadId tid) const;
+
+    /** Blacklist events so far (tests / reporting). */
+    std::uint64_t blacklistEvents() const { return events_; }
+
+  private:
+    unsigned numThreads_;
+    BlissParams params_;
+
+    std::vector<bool> blacklist_;
+    ThreadId lastServed_ = kInvalidThread;
+    unsigned streak_ = 0;
+    Cycle nextClear_;
+    std::uint64_t events_ = 0;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_MEM_SCHED_BLISS_HH

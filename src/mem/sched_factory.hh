@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Scheduler construction by name.
+ */
+
+#ifndef DBPSIM_MEM_SCHED_FACTORY_HH
+#define DBPSIM_MEM_SCHED_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/scheduler.hh"
+
+namespace dbpsim {
+
+/**
+ * Everything scheduler constructors might need.
+ */
+struct SchedulerInit
+{
+    unsigned numThreads = 8;   ///< hardware threads.
+    unsigned numColors = 32;   ///< machine-wide banks (PAR-BS grouping).
+    Cycle burstCycles = 4;     ///< tBURST (ATLAS service unit).
+    Cycle tcmShuffleInterval = 800;
+    double tcmClusterThresh = 0.10;
+    Cycle atlasQuantum = 2'500'000;
+    unsigned parbsMarkingCap = 5;
+    unsigned blissCap = 4;
+    Cycle blissClearInterval = 10'000;
+};
+
+/** Names accepted by makeScheduler, in a stable order. */
+const std::vector<std::string> &schedulerNames();
+
+/**
+ * Build a scheduler: "fcfs", "fr-fcfs", "par-bs", "atlas", "tcm" or
+ * "bliss". fatal()s on unknown names.
+ */
+std::unique_ptr<Scheduler> makeScheduler(const std::string &name,
+                                         const SchedulerInit &init);
+
+} // namespace dbpsim
+
+#endif // DBPSIM_MEM_SCHED_FACTORY_HH

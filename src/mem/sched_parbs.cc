@@ -1,0 +1,129 @@
+#include "mem/sched_parbs.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+ParbsScheduler::ParbsScheduler(unsigned num_threads, unsigned num_colors,
+                               ParbsParams params)
+    : numThreads_(num_threads), numColors_(num_colors), params_(params)
+{
+    DBP_ASSERT(num_threads > 0, "par-bs needs >= 1 thread");
+    DBP_ASSERT(params_.markingCap > 0, "par-bs marking cap must be >= 1");
+    rank_.assign(num_threads, 0);
+}
+
+void
+ParbsScheduler::attachQueueView(QueueView *view)
+{
+    DBP_ASSERT(view != nullptr, "null queue view");
+    views_.push_back(view);
+}
+
+int
+ParbsScheduler::rankOf(ThreadId tid) const
+{
+    if (tid < 0 || static_cast<unsigned>(tid) >= numThreads_)
+        return -1;
+    return rank_[static_cast<unsigned>(tid)];
+}
+
+void
+ParbsScheduler::tick(Cycle now)
+{
+    (void)now;
+    if (markedRemaining_ == 0)
+        formBatch();
+}
+
+void
+ParbsScheduler::onDequeue(const MemRequest &req)
+{
+    if (req.marked) {
+        DBP_ASSERT(markedRemaining_ > 0, "marked counter underflow");
+        --markedRemaining_;
+    }
+}
+
+void
+ParbsScheduler::formBatch()
+{
+    // Gather every pending read, grouped by (thread, machine bank).
+    std::map<std::pair<ThreadId, unsigned>, std::vector<MemRequest *>>
+        groups;
+    for (QueueView *view : views_) {
+        view->forEachPendingRead([&](MemRequest &req) {
+            // Machine-wide bank id built from coordinate fields (map
+            // agnostic; widths generous enough for any geometry).
+            unsigned machine_bank = req.coord.channel;
+            machine_bank = machine_bank * 65536 + req.coord.rank;
+            machine_bank = machine_bank * 65536 + req.coord.bank;
+            groups[{req.tid, machine_bank}].push_back(&req);
+        });
+    }
+    if (groups.empty())
+        return;
+
+    // Mark up to cap oldest requests per group; accumulate per-thread
+    // marked totals and per-bank maxima.
+    std::vector<std::uint64_t> total(numThreads_, 0);
+    std::vector<std::uint64_t> max_per_bank(numThreads_, 0);
+    for (auto &[key, reqs] : groups) {
+        std::sort(reqs.begin(), reqs.end(),
+                  [](const MemRequest *a, const MemRequest *b) {
+                      return olderFirst(*a, *b);
+                  });
+        std::uint64_t marked = 0;
+        for (MemRequest *r : reqs) {
+            if (marked >= params_.markingCap)
+                break;
+            r->marked = true;
+            ++marked;
+            ++markedRemaining_;
+        }
+        ThreadId tid = key.first;
+        if (tid >= 0 && static_cast<unsigned>(tid) < numThreads_) {
+            total[tid] += marked;
+            max_per_bank[tid] = std::max(max_per_bank[tid], marked);
+        }
+    }
+    ++batches_;
+
+    // Shortest job first: threads with the smallest maximum per-bank
+    // load (then smallest total) get the highest rank.
+    std::vector<unsigned> order(numThreads_);
+    for (unsigned t = 0; t < numThreads_; ++t)
+        order[t] = t;
+    std::sort(order.begin(), order.end(),
+              [&](unsigned a, unsigned b) {
+                  if (max_per_bank[a] != max_per_bank[b])
+                      return max_per_bank[a] < max_per_bank[b];
+                  if (total[a] != total[b])
+                      return total[a] < total[b];
+                  return a < b;
+              });
+    for (unsigned pos = 0; pos < order.size(); ++pos)
+        rank_[order[pos]] = static_cast<int>(numThreads_ - pos);
+}
+
+bool
+ParbsScheduler::higherPriority(const MemRequest &a, const MemRequest &b,
+                               const SchedContext &ctx) const
+{
+    if (a.marked != b.marked)
+        return a.marked;
+    int ra = rankOf(a.tid);
+    int rb = rankOf(b.tid);
+    if (ra != rb)
+        return ra > rb;
+    bool ha = ctx.rowHit(a);
+    bool hb = ctx.rowHit(b);
+    if (ha != hb)
+        return ha;
+    return olderFirst(a, b);
+}
+
+} // namespace dbpsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * PAR-BS (Mutlu & Moscibroda, ISCA 2008): parallelism-aware batch
+ * scheduling. Requests are grouped into batches (up to a cap per
+ * thread per bank); batched requests strictly precede unbatched ones,
+ * which bounds every thread's service delay (fairness). Within a
+ * batch, threads are ranked shortest-job-first by their maximum
+ * per-bank queued load, preserving each thread's bank-level
+ * parallelism.
+ */
+
+#ifndef DBPSIM_MEM_SCHED_PARBS_HH
+#define DBPSIM_MEM_SCHED_PARBS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/scheduler.hh"
+
+namespace dbpsim {
+
+/**
+ * PAR-BS configuration.
+ */
+struct ParbsParams
+{
+    /** Max marked requests per (thread, bank) when a batch forms. */
+    unsigned markingCap = 5;
+};
+
+/**
+ * The PAR-BS scheduler.
+ */
+class ParbsScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param num_threads Hardware threads (ranking vector size).
+     * @param num_colors Machine-wide bank count (batch grouping).
+     */
+    ParbsScheduler(unsigned num_threads, unsigned num_colors,
+                   ParbsParams params = {});
+
+    std::string name() const override { return "par-bs"; }
+
+    bool higherPriority(const MemRequest &a, const MemRequest &b,
+                        const SchedContext &ctx) const override;
+
+    void tick(Cycle now) override;
+    void onDequeue(const MemRequest &req) override;
+    void attachQueueView(QueueView *view) override;
+
+    /** Batches formed so far (tests / reporting). */
+    std::uint64_t batchesFormed() const { return batches_; }
+
+    /** Marked requests still queued. */
+    std::uint64_t markedRemaining() const { return markedRemaining_; }
+
+  private:
+    /** Mark a new batch and recompute thread ranks. */
+    void formBatch();
+
+    /** Rank of a thread (higher = served first); safe for any tid. */
+    int rankOf(ThreadId tid) const;
+
+    unsigned numThreads_;
+    unsigned numColors_;
+    ParbsParams params_;
+
+    std::vector<QueueView *> views_;
+    std::vector<int> rank_;
+    std::uint64_t markedRemaining_ = 0;
+    std::uint64_t batches_ = 0;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_MEM_SCHED_PARBS_HH

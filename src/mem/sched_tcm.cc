@@ -1,0 +1,153 @@
+#include "mem/sched_tcm.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+TcmScheduler::TcmScheduler(unsigned num_threads, TcmParams params)
+    : numThreads_(num_threads), params_(params),
+      nextShuffle_(params.shuffleInterval)
+{
+    DBP_ASSERT(num_threads > 0, "tcm needs >= 1 thread");
+    DBP_ASSERT(params_.clusterThresh >= 0.0 && params_.clusterThresh <= 1.0,
+               "tcm clusterThresh out of [0,1]");
+    DBP_ASSERT(params_.shuffleInterval > 0, "tcm shuffleInterval == 0");
+    latency_.assign(num_threads, false);
+    rank_.assign(num_threads, 0);
+}
+
+bool
+TcmScheduler::inLatencyCluster(ThreadId tid) const
+{
+    DBP_ASSERT(tid >= 0 && static_cast<unsigned>(tid) < numThreads_,
+               "tcm: bad thread id");
+    return latency_[static_cast<unsigned>(tid)];
+}
+
+int
+TcmScheduler::rankOf(ThreadId tid) const
+{
+    if (tid < 0 || static_cast<unsigned>(tid) >= numThreads_)
+        return -1;
+    return rank_[static_cast<unsigned>(tid)];
+}
+
+void
+TcmScheduler::onIntervalProfiles(
+    const std::vector<ThreadMemProfile> &profiles)
+{
+    DBP_ASSERT(profiles.size() == numThreads_,
+               "tcm: profile vector size mismatch");
+
+    // --- Clustering: lowest-MPKI threads enter the latency cluster
+    // while their cumulative bandwidth stays within clusterThresh of
+    // the interval's total request count.
+    std::uint64_t total_reqs = 0;
+    for (const auto &p : profiles)
+        total_reqs += p.requests;
+
+    std::vector<unsigned> by_mpki(numThreads_);
+    for (unsigned t = 0; t < numThreads_; ++t)
+        by_mpki[t] = t;
+    std::sort(by_mpki.begin(), by_mpki.end(), [&](unsigned a, unsigned b) {
+        if (profiles[a].mpki != profiles[b].mpki)
+            return profiles[a].mpki < profiles[b].mpki;
+        return a < b;
+    });
+
+    std::fill(latency_.begin(), latency_.end(), false);
+    latOrder_.clear();
+    double budget = params_.clusterThresh *
+        static_cast<double>(total_reqs);
+    double used = 0.0;
+    std::vector<unsigned> bw_threads;
+    for (unsigned t : by_mpki) {
+        double r = static_cast<double>(profiles[t].requests);
+        if (used + r <= budget || profiles[t].requests == 0) {
+            latency_[t] = true;
+            latOrder_.push_back(t); // ascending MPKI = best first.
+            used += r;
+        } else {
+            bw_threads.push_back(t);
+        }
+    }
+
+    // --- Bandwidth-cluster niceness: rank by BLP (high = nice) minus
+    // rank by row-buffer locality (high = not nice).
+    std::vector<unsigned> by_blp = bw_threads;
+    std::sort(by_blp.begin(), by_blp.end(), [&](unsigned a, unsigned b) {
+        if (profiles[a].blp != profiles[b].blp)
+            return profiles[a].blp < profiles[b].blp;
+        return a < b;
+    });
+    std::vector<unsigned> by_rbl = bw_threads;
+    std::sort(by_rbl.begin(), by_rbl.end(), [&](unsigned a, unsigned b) {
+        if (profiles[a].rowBufferHitRate != profiles[b].rowBufferHitRate)
+            return profiles[a].rowBufferHitRate <
+                profiles[b].rowBufferHitRate;
+        return a < b;
+    });
+    std::vector<int> blp_rank(numThreads_, 0);
+    std::vector<int> rbl_rank(numThreads_, 0);
+    for (unsigned pos = 0; pos < by_blp.size(); ++pos)
+        blp_rank[by_blp[pos]] = static_cast<int>(pos);
+    for (unsigned pos = 0; pos < by_rbl.size(); ++pos)
+        rbl_rank[by_rbl[pos]] = static_cast<int>(pos);
+
+    bwOrder_ = bw_threads;
+    std::sort(bwOrder_.begin(), bwOrder_.end(),
+              [&](unsigned a, unsigned b) {
+                  int na = blp_rank[a] - rbl_rank[a];
+                  int nb = blp_rank[b] - rbl_rank[b];
+                  if (na != nb)
+                      return na > nb; // nicer first.
+                  return a < b;
+              });
+
+    rebuildRanks();
+}
+
+void
+TcmScheduler::rebuildRanks()
+{
+    // Ranks: latency-cluster threads occupy the top band (ascending
+    // MPKI = higher rank), the bandwidth cluster fills the bottom band
+    // in (shuffled) niceness order.
+    int next_rank = static_cast<int>(numThreads_) * 2;
+    for (unsigned t : latOrder_)
+        rank_[t] = next_rank--;
+    for (unsigned t : bwOrder_)
+        rank_[t] = next_rank--;
+}
+
+void
+TcmScheduler::tick(Cycle now)
+{
+    if (now < nextShuffle_)
+        return;
+    nextShuffle_ += params_.shuffleInterval;
+    if (bwOrder_.size() > 1) {
+        std::rotate(bwOrder_.begin(), bwOrder_.begin() + 1,
+                    bwOrder_.end());
+        rebuildRanks();
+    }
+}
+
+bool
+TcmScheduler::higherPriority(const MemRequest &a, const MemRequest &b,
+                             const SchedContext &ctx) const
+{
+    int ra = rankOf(a.tid);
+    int rb = rankOf(b.tid);
+    if (ra != rb)
+        return ra > rb;
+    bool ha = ctx.rowHit(a);
+    bool hb = ctx.rowHit(b);
+    if (ha != hb)
+        return ha;
+    return olderFirst(a, b);
+}
+
+} // namespace dbpsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-thread memory-behaviour summary for one profiling interval.
+ * Produced by the ThreadProfiler, consumed by partitioning policies
+ * (DBP, MCP) and by profile-driven schedulers (TCM).
+ */
+
+#ifndef DBPSIM_MEM_THREAD_PROFILE_HH
+#define DBPSIM_MEM_THREAD_PROFILE_HH
+
+#include <cstdint>
+
+namespace dbpsim {
+
+/**
+ * One thread's measured memory characteristics over an interval.
+ */
+struct ThreadMemProfile
+{
+    /** DRAM requests per kilo-instruction (memory intensity). */
+    double mpki = 0.0;
+
+    /**
+     * Intrinsic row-buffer hit rate, measured on per-thread shadow row
+     * buffers (i.e. the locality the thread would see without any
+     * inter-thread interference).
+     */
+    double rowBufferHitRate = 0.0;
+
+    /**
+     * Bank-level parallelism: average number of banks holding at least
+     * one of the thread's outstanding requests, averaged over cycles
+     * in which the thread had any request outstanding. Note: censored
+     * by the current partition (a thread confined to k banks cannot
+     * exhibit BLP > k), so demand estimation must not rely on it.
+     */
+    double blp = 0.0;
+
+    /**
+     * Memory-level parallelism: average number of outstanding requests
+     * over cycles with at least one outstanding. Determined by the
+     * core's window/MSHRs and the program, not by the bank partition.
+     */
+    double mlp = 0.0;
+
+    /**
+     * Distinct-row parallelism: average number of distinct (bank, row)
+     * targets among the thread's outstanding requests, over cycles
+     * with at least one outstanding. The partition-invariant measure
+     * of how many banks the thread could use concurrently: a single
+     * sequential stream targets ~1 row at a time however many banks
+     * it owns, while k concurrent streams target k distinct rows even
+     * when squeezed into one bank.
+     */
+    double rowParallelism = 0.0;
+
+    /** DRAM requests issued during the interval. */
+    std::uint64_t requests = 0;
+
+    /** Instructions retired during the interval. */
+    std::uint64_t instructions = 0;
+
+    /** Distinct OS pages touched so far (footprint, cumulative). */
+    std::uint64_t footprintPages = 0;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_MEM_THREAD_PROFILE_HH

@@ -1,0 +1,97 @@
+#include "os/frame_alloc.hh"
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+FrameAllocator::FrameAllocator(const AddressMap &map)
+    : map_(map), colorAware_(map.supportsBankColoring())
+{
+    if (colorAware_) {
+        framesPerColor_ = map.framesPerColor();
+        bump_.assign(map.numColors(), 0);
+        freeLists_.resize(map.numColors());
+    } else {
+        framesPerColor_ = map.geometry().totalFrames();
+        bump_.assign(1, 0);
+        freeLists_.resize(1);
+    }
+}
+
+bool
+FrameAllocator::allocateInColor(unsigned color, std::uint64_t &frame)
+{
+    DBP_ASSERT(color < bump_.size(), "color out of range");
+    auto &fl = freeLists_[color];
+    if (!fl.empty()) {
+        frame = fl.back();
+        fl.pop_back();
+        statAllocs.inc();
+        return true;
+    }
+    if (bump_[color] < framesPerColor_) {
+        std::uint64_t idx = bump_[color]++;
+        frame = colorAware_ ? map_.frameOfColorIndex(color, idx) : idx;
+        statAllocs.inc();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+FrameAllocator::allocate(const std::vector<unsigned> &colors,
+                         std::size_t &cursor)
+{
+    DBP_ASSERT(colorAware_, "colored allocation on a non-colorable map");
+    DBP_ASSERT(!colors.empty(), "empty color set");
+    for (std::size_t tries = 0; tries < colors.size(); ++tries) {
+        unsigned color = colors[cursor % colors.size()];
+        cursor = (cursor + 1) % colors.size();
+        std::uint64_t frame;
+        if (allocateInColor(color, frame))
+            return frame;
+    }
+    fatal("out of physical memory: all ", colors.size(),
+          " allowed bank colors exhausted");
+}
+
+std::uint64_t
+FrameAllocator::allocateAny()
+{
+    std::uint64_t frame;
+    if (colorAware_) {
+        for (unsigned c = 0; c < bump_.size(); ++c)
+            if (allocateInColor(c, frame))
+                return frame;
+    } else {
+        if (allocateInColor(0, frame))
+            return frame;
+    }
+    fatal("out of physical memory");
+}
+
+void
+FrameAllocator::release(std::uint64_t frame)
+{
+    unsigned color = colorAware_ ? map_.colorOfFrame(frame) : 0;
+    freeLists_[color].push_back(frame);
+    statReleases.inc();
+}
+
+std::uint64_t
+FrameAllocator::freeInColor(unsigned color) const
+{
+    DBP_ASSERT(color < bump_.size(), "color out of range");
+    return (framesPerColor_ - bump_[color]) + freeLists_[color].size();
+}
+
+std::uint64_t
+FrameAllocator::totalFree() const
+{
+    std::uint64_t total = 0;
+    for (unsigned c = 0; c < bump_.size(); ++c)
+        total += freeInColor(c);
+    return total;
+}
+
+} // namespace dbpsim

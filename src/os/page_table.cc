@@ -1,0 +1,48 @@
+#include "os/page_table.hh"
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+bool
+PageTable::lookup(std::uint64_t vpage, std::uint64_t &frame) const
+{
+    auto it = table_.find(vpage);
+    if (it == table_.end())
+        return false;
+    frame = it->second;
+    return true;
+}
+
+void
+PageTable::map(std::uint64_t vpage, std::uint64_t frame)
+{
+    auto [it, inserted] = table_.emplace(vpage, frame);
+    (void)it;
+    DBP_ASSERT(inserted, "vpage " << vpage << " already mapped");
+}
+
+void
+PageTable::remap(std::uint64_t vpage, std::uint64_t frame)
+{
+    auto it = table_.find(vpage);
+    DBP_ASSERT(it != table_.end(), "remap of unmapped vpage " << vpage);
+    it->second = frame;
+}
+
+void
+PageTable::unmap(std::uint64_t vpage)
+{
+    std::size_t erased = table_.erase(vpage);
+    DBP_ASSERT(erased == 1, "unmap of unmapped vpage " << vpage);
+}
+
+void
+PageTable::forEach(
+    const std::function<void(std::uint64_t, std::uint64_t)> &fn) const
+{
+    for (const auto &kv : table_)
+        fn(kv.first, kv.second);
+}
+
+} // namespace dbpsim

@@ -1,0 +1,228 @@
+#include "part/part_combined.hh"
+
+#include "part/part_ubp.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+CombinedPolicy::CombinedPolicy(unsigned num_threads, unsigned channels,
+                               unsigned ranks, unsigned banks,
+                               DbpParams dbp, McpParams mcp)
+    : numThreads_(num_threads), channels_(channels), ranks_(ranks),
+      banks_(banks), dbpParams_(dbp),
+      mcp_(num_threads, channels, ranks, banks, mcp)
+{
+    DBP_ASSERT(num_threads > 0, "dbp-mcp needs >= 1 thread");
+    currentLight_.assign(num_threads, false);
+}
+
+PartitionAssignment
+CombinedPolicy::initialAssignment()
+{
+    // Before any profile: the equal bank split over all channels
+    // (same safe start as DBP).
+    UbpPolicy equal(numThreads_, channels_, ranks_, banks_);
+    current_ = equal.initialAssignment();
+    currentLight_.assign(numThreads_, false);
+    return current_;
+}
+
+std::vector<unsigned>
+CombinedPolicy::groupColors(
+    const std::vector<unsigned> &channel_list) const
+{
+    // Walk the machine-wide spreading order and keep the group's
+    // channels, so slices inside the group still alternate across its
+    // channels and ranks.
+    auto order = channelSpreadColorOrder(channels_, ranks_, banks_);
+    std::vector<unsigned> out;
+    for (unsigned color : order) {
+        unsigned chan = color / (ranks_ * banks_);
+        if (std::find(channel_list.begin(), channel_list.end(), chan) !=
+            channel_list.end())
+            out.push_back(color);
+    }
+    return out;
+}
+
+void
+CombinedPolicy::splitGroup(const std::vector<unsigned> &members,
+                           const std::vector<unsigned> &colors,
+                           const std::vector<ThreadMemProfile> &profiles,
+                           PartitionAssignment &out) const
+{
+    DBP_ASSERT(!members.empty() && !colors.empty(),
+               "empty group in dbp-mcp split");
+
+    // Separate light members (MCP can co-locate its low-intensity
+    // group with an intensive group on the same channels): lights
+    // share a small tail slice, heavies split the rest.
+    std::vector<unsigned> lights, heavies;
+    for (unsigned t : members) {
+        if (profiles[t].mpki < dbpParams_.lightMpki)
+            lights.push_back(t);
+        else
+            heavies.push_back(t);
+    }
+    if (heavies.empty() || colors.size() < members.size()) {
+        for (unsigned t : members)
+            out[t] = colors;
+        return;
+    }
+
+    std::vector<unsigned> heavy_colors = colors;
+    if (!lights.empty()) {
+        auto light_banks = static_cast<unsigned>(std::ceil(
+            dbpParams_.lightBanksPerThread * lights.size()));
+        unsigned cap = std::max(1u, static_cast<unsigned>(
+            dbpParams_.lightShareCap * colors.size()));
+        light_banks = std::clamp(light_banks, 1u, cap);
+        while (light_banks > 1 &&
+               colors.size() - light_banks < heavies.size())
+            --light_banks;
+        std::vector<unsigned> light_set(
+            colors.end() - light_banks, colors.end());
+        for (unsigned t : lights)
+            out[t] = light_set;
+        heavy_colors.resize(colors.size() - light_banks);
+    }
+    const std::vector<unsigned> &members_h = heavies;
+    const std::vector<unsigned> &colors_h = heavy_colors;
+
+    // Equal base among the heavy members.
+    unsigned n = static_cast<unsigned>(members_h.size());
+    unsigned eq = static_cast<unsigned>(colors_h.size()) / n;
+    unsigned extra = static_cast<unsigned>(colors_h.size()) % n;
+    std::vector<unsigned> base(members_h.size());
+    for (std::size_t i = 0; i < members_h.size(); ++i)
+        base[i] = eq + (i < extra ? 1 : 0);
+
+    // Streaming donors keep streamBanks; surplus to receivers by
+    // row-miss intensity (same rules as DbpPolicy).
+    std::vector<bool> donor(members_h.size(), false);
+    unsigned surplus = 0;
+    for (std::size_t i = 0; i < members_h.size(); ++i) {
+        const auto &p = profiles[members_h[i]];
+        if (base[i] > dbpParams_.streamBanks &&
+            p.rowBufferHitRate >= dbpParams_.streamRbhr &&
+            p.rowParallelism <= dbpParams_.maxDonorRows) {
+            donor[i] = true;
+            surplus += base[i] - dbpParams_.streamBanks;
+        }
+    }
+    std::vector<double> weight(members_h.size(), 0.0);
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < members_h.size(); ++i) {
+        if (donor[i])
+            continue;
+        const auto &p = profiles[members_h[i]];
+        weight[i] = std::max(0.1,
+                             p.mpki * (1.0 - p.rowBufferHitRate));
+        weight_sum += weight[i];
+    }
+    std::vector<unsigned> share(members_h.size());
+    if (weight_sum <= 0.0) {
+        surplus = 0;
+        std::fill(donor.begin(), donor.end(), false);
+    }
+    unsigned used = 0;
+    std::vector<double> exact(members_h.size(), 0.0);
+    for (std::size_t i = 0; i < members_h.size(); ++i) {
+        if (donor[i]) {
+            share[i] = dbpParams_.streamBanks;
+        } else {
+            exact[i] = surplus * weight[i] /
+                std::max(weight_sum, 1e-9);
+            share[i] = base[i] + static_cast<unsigned>(exact[i]);
+        }
+        used += share[i];
+    }
+    std::size_t bump = 0;
+    while (used < colors_h.size()) {
+        // Leftover surplus: round-robin over receivers.
+        std::size_t i = bump++ % members_h.size();
+        if (donor[i])
+            continue;
+        ++share[i];
+        ++used;
+    }
+
+    // Carve contiguous slices of the group's spread-ordered colors.
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < members_h.size(); ++i) {
+        out[members_h[i]].clear();
+        for (unsigned k = 0; k < share[i] && pos < colors_h.size(); ++k)
+            out[members_h[i]].push_back(colors_h[pos++]);
+        if (out[members_h[i]].empty()) // safety: never empty.
+            out[members_h[i]].push_back(colors_h.back());
+    }
+}
+
+std::optional<PartitionAssignment>
+CombinedPolicy::onInterval(const std::vector<ThreadMemProfile> &profiles)
+{
+    DBP_ASSERT(profiles.size() == numThreads_,
+               "dbp-mcp: profile vector size mismatch");
+
+    if (intervalsSeen_ < dbpParams_.warmupIntervals) {
+        ++intervalsSeen_;
+        smoothed_ = profiles;
+        return std::nullopt;
+    }
+    ++intervalsSeen_;
+
+    if (smoothed_.empty()) {
+        smoothed_ = profiles;
+    } else {
+        double a = dbpParams_.ewmaAlpha;
+        for (unsigned t = 0; t < numThreads_; ++t) {
+            ThreadMemProfile &s = smoothed_[t];
+            const ThreadMemProfile &n = profiles[t];
+            s.mpki = a * s.mpki + (1 - a) * n.mpki;
+            s.rowBufferHitRate = a * s.rowBufferHitRate +
+                (1 - a) * n.rowBufferHitRate;
+            s.rowParallelism = a * s.rowParallelism +
+                (1 - a) * n.rowParallelism;
+            s.requests = n.requests;
+        }
+    }
+
+    ++sinceRepartition_;
+    if (sinceRepartition_ < dbpParams_.cooldownIntervals)
+        return std::nullopt;
+
+    // Channel groups from MCP's classification.
+    auto chans = mcp_.channelAssignment(smoothed_);
+    std::map<std::vector<unsigned>, std::vector<unsigned>> groups;
+    for (unsigned t = 0; t < numThreads_; ++t)
+        groups[chans[t]].push_back(t);
+
+    PartitionAssignment next(numThreads_);
+    for (const auto &[channel_list, members] : groups)
+        splitGroup(members, groupColors(channel_list), smoothed_, next);
+
+    if (next == current_)
+        return std::nullopt;
+    current_ = next;
+    for (unsigned t = 0; t < numThreads_; ++t)
+        currentLight_[t] =
+            smoothed_[t].mpki < dbpParams_.lightMpki;
+    ++repartitions_;
+    sinceRepartition_ = 0;
+    return next;
+}
+
+bool
+CombinedPolicy::shouldMigrate(unsigned thread) const
+{
+    if (thread >= currentLight_.size())
+        return true;
+    return !currentLight_[thread];
+}
+
+} // namespace dbpsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * DBP-MCP — the composition the paper's "comprehensive approach"
+ * discussion points toward: first split channels among behaviour
+ * groups (MCP's classification removes the worst cross-group
+ * interference and channel contention), then apply DBP's
+ * donor/receiver bank split *within* each channel group (removing the
+ * intra-group bank conflicts MCP leaves behind). Implemented as an
+ * extension beyond the paper's evaluated schemes.
+ */
+
+#ifndef DBPSIM_PART_PART_COMBINED_HH
+#define DBPSIM_PART_PART_COMBINED_HH
+
+#include "part/part_dbp.hh"
+#include "part/part_mcp.hh"
+#include "part/policy.hh"
+
+namespace dbpsim {
+
+/**
+ * The combined channel+bank partitioning policy.
+ */
+class CombinedPolicy : public PartitionPolicy
+{
+  public:
+    /**
+     * @param num_threads Hardware threads.
+     * @param channels / @p ranks / @p banks Machine geometry.
+     * @param dbp DBP knobs (donor thresholds, smoothing, hysteresis).
+     * @param mcp MCP knobs (grouping thresholds).
+     */
+    CombinedPolicy(unsigned num_threads, unsigned channels,
+                   unsigned ranks, unsigned banks, DbpParams dbp = {},
+                   McpParams mcp = {});
+
+    std::string name() const override { return "dbp-mcp"; }
+
+    PartitionAssignment initialAssignment() override;
+
+    std::optional<PartitionAssignment>
+    onInterval(const std::vector<ThreadMemProfile> &profiles) override;
+
+    /** Light threads' leftovers stay put (as in DBP/MCP). */
+    bool shouldMigrate(unsigned thread) const override;
+
+    /** Adopted repartitions so far. */
+    std::uint64_t repartitions() const { return repartitions_; }
+
+  private:
+    /** Colors of @p channel_list, interleaved in spread order. */
+    std::vector<unsigned>
+    groupColors(const std::vector<unsigned> &channel_list) const;
+
+    /**
+     * DBP-style split of @p colors among @p members: equal base,
+     * streaming donors keep streamBanks, surplus to receivers by
+     * row-miss intensity. All-light groups share everything.
+     */
+    void splitGroup(const std::vector<unsigned> &members,
+                    const std::vector<unsigned> &colors,
+                    const std::vector<ThreadMemProfile> &profiles,
+                    PartitionAssignment &out) const;
+
+    unsigned numThreads_;
+    unsigned channels_;
+    unsigned ranks_;
+    unsigned banks_;
+    DbpParams dbpParams_;
+    McpPolicy mcp_;
+
+    std::vector<ThreadMemProfile> smoothed_;
+    std::vector<bool> currentLight_;
+    PartitionAssignment current_;
+    unsigned intervalsSeen_ = 0;
+    unsigned sinceRepartition_ = 0;
+    std::uint64_t repartitions_ = 0;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_PART_PART_COMBINED_HH

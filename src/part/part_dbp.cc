@@ -1,0 +1,453 @@
+#include "part/part_dbp.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+DbpPolicy::DbpPolicy(unsigned num_threads, unsigned channels,
+                     unsigned ranks, unsigned banks, DbpParams params)
+    : numThreads_(num_threads), channels_(channels), ranks_(ranks),
+      banks_(banks), totalColors_(channels * ranks * banks),
+      params_(params)
+{
+    DBP_ASSERT(num_threads > 0, "dbp needs >= 1 thread");
+    DBP_ASSERT(totalColors_ > 0, "dbp needs >= 1 bank");
+    if (params_.lightBanksPerThread <= 0.0)
+        fatal("dbp: lightBanksPerThread must be > 0");
+    if (params_.lightShareCap <= 0.0 || params_.lightShareCap > 1.0)
+        fatal("dbp: lightShareCap out of (0,1]");
+    spreadOrder_ = channelSpreadColorOrder(channels_, ranks_, banks_);
+    spreadPos_.assign(totalColors_, 0);
+    for (unsigned pos = 0; pos < totalColors_; ++pos)
+        spreadPos_[spreadOrder_[pos]] = pos;
+    owned_.resize(numThreads_);
+}
+
+void
+DbpPolicy::clearOwnership()
+{
+    for (auto &o : owned_)
+        o.clear();
+    lightSet_.clear();
+}
+
+PartitionAssignment
+DbpPolicy::initialAssignment()
+{
+    // No profile yet: start from the equal partition (what the paper
+    // compares against, and a safe default until measurements exist).
+    std::vector<unsigned> counts(numThreads_, 0);
+    if (totalColors_ >= numThreads_) {
+        unsigned base = totalColors_ / numThreads_;
+        unsigned extra = totalColors_ % numThreads_;
+        for (unsigned t = 0; t < numThreads_; ++t)
+            counts[t] = base + (t < extra ? 1 : 0);
+    } else {
+        std::fill(counts.begin(), counts.end(), 1u);
+    }
+    currentCounts_ = counts;
+    currentLight_.assign(numThreads_, false);
+    sharedAll_ = false;
+
+    clearOwnership();
+    if (totalColors_ >= numThreads_) {
+        // Contiguous slices of the channel-spreading order.
+        unsigned pos = 0;
+        for (unsigned t = 0; t < numThreads_; ++t)
+            for (unsigned i = 0; i < counts[t]; ++i)
+                owned_[t].push_back(spreadOrder_[pos++]);
+    } else {
+        // Degenerate sharing: threads wrap around the banks.
+        for (unsigned t = 0; t < numThreads_; ++t)
+            owned_[t].push_back(spreadOrder_[t % totalColors_]);
+    }
+
+    PartitionAssignment out(numThreads_);
+    for (unsigned t = 0; t < numThreads_; ++t)
+        out[t] = owned_[t];
+    return out;
+}
+
+std::vector<unsigned>
+DbpPolicy::bankShares(const std::vector<ThreadMemProfile> &profiles) const
+{
+    DBP_ASSERT(profiles.size() == numThreads_,
+               "dbp: profile vector size mismatch");
+
+    std::vector<bool> light(numThreads_, false);
+    unsigned light_count = 0;
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        if (profiles[t].mpki < params_.lightMpki) {
+            light[t] = true;
+            ++light_count;
+        }
+    }
+
+    std::vector<unsigned> shares(numThreads_, 0);
+
+    // All threads light: no partitioning pressure — everyone shares
+    // the whole machine.
+    if (light_count == numThreads_) {
+        std::fill(shares.begin(), shares.end(), totalColors_);
+        return shares;
+    }
+
+    unsigned heavy_count = numThreads_ - light_count;
+
+    // Light group size: proportional to membership, capped.
+    unsigned light_banks = 0;
+    if (light_count > 0) {
+        light_banks = static_cast<unsigned>(std::ceil(
+            params_.lightBanksPerThread * light_count));
+        unsigned cap = std::max(1u, static_cast<unsigned>(
+            params_.lightShareCap * totalColors_));
+        light_banks = std::clamp(light_banks, 1u, cap);
+    }
+    // Every heavy thread needs at least one bank; shrink the light
+    // group if necessary.
+    while (light_banks > 1 && totalColors_ - light_banks < heavy_count)
+        --light_banks;
+
+    unsigned remaining = totalColors_ > light_banks
+        ? totalColors_ - light_banks : 0;
+
+    if (remaining < heavy_count) {
+        // Pathological (more heavy threads than banks): every heavy
+        // thread reports one bank; buildAssignment shares them.
+        for (unsigned t = 0; t < numThreads_; ++t)
+            shares[t] = light[t] ? std::max(1u, light_banks) : 1u;
+        return shares;
+    }
+
+    // Base: the equal split of the heavy banks (remainder to the
+    // lowest thread ids, like UBP). Bank utility is strongly concave
+    // (fig2), so the equal share is close to throughput-optimal for
+    // threads of comparable behaviour; the dynamic win comes from the
+    // exceptions below, not from wholesale proportional dealing.
+    std::vector<unsigned> base(numThreads_, 0);
+    {
+        unsigned eq = remaining / heavy_count;
+        unsigned extra = remaining % heavy_count;
+        for (unsigned t = 0; t < numThreads_; ++t) {
+            if (light[t])
+                continue;
+            base[t] = eq + (extra > 0 ? 1 : 0);
+            if (extra > 0)
+                --extra;
+        }
+    }
+
+    // Donors: streaming threads (intrinsic RBHR >= streamRbhr) run
+    // from the row buffer and need only streamBanks banks — measured
+    // directly by the alone bank sweeps (fig2: libquantum saturates
+    // by two banks). They donate the rest of their equal share.
+    std::vector<bool> donor(numThreads_, false);
+    unsigned surplus = 0;
+    if (!params_.flatDemand) {
+        for (unsigned t = 0; t < numThreads_; ++t) {
+            if (light[t] || base[t] <= params_.streamBanks)
+                continue;
+            // A donor must both run from the row buffer AND target
+            // few rows concurrently; high-RBHR multi-stream apps
+            // (bwaves-like) need a bank per stream and must not
+            // donate. Row parallelism is partition invariant.
+            if (profiles[t].rowBufferHitRate >= params_.streamRbhr &&
+                profiles[t].rowParallelism <= params_.maxDonorRows) {
+                donor[t] = true;
+                surplus += base[t] - params_.streamBanks;
+            }
+        }
+    }
+
+    // Receivers: the remaining heavy threads, weighted by row-miss
+    // intensity MPKI * (1 - RBHR) — the partition-invariant measure
+    // of how much bank service each thread's misses demand (measured
+    // BLP is censored by the current partition and useless here).
+    std::vector<double> weight(numThreads_, 0.0);
+    double weight_sum = 0.0;
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        if (light[t] || donor[t])
+            continue;
+        weight[t] = std::max(0.1, profiles[t].mpki *
+                             (1.0 - profiles[t].rowBufferHitRate));
+        weight_sum += weight[t];
+    }
+
+    std::vector<unsigned> extra_share(numThreads_, 0);
+    if (surplus > 0 && weight_sum > 0.0) {
+        // Largest-remainder proportional split of the surplus.
+        std::vector<double> exact(numThreads_, 0.0);
+        unsigned used = 0;
+        for (unsigned t = 0; t < numThreads_; ++t) {
+            if (light[t] || donor[t] || weight[t] <= 0.0)
+                continue;
+            exact[t] = surplus * weight[t] / weight_sum;
+            extra_share[t] = static_cast<unsigned>(exact[t]);
+            used += extra_share[t];
+        }
+        std::vector<unsigned> order;
+        for (unsigned t = 0; t < numThreads_; ++t)
+            if (!light[t] && !donor[t] && weight[t] > 0.0)
+                order.push_back(t);
+        std::sort(order.begin(), order.end(),
+                  [&](unsigned a, unsigned b) {
+                      double fa = exact[a] - std::floor(exact[a]);
+                      double fb = exact[b] - std::floor(exact[b]);
+                      if (fa != fb)
+                          return fa > fb;
+                      return a < b;
+                  });
+        std::size_t oi = 0;
+        while (used < surplus && !order.empty()) {
+            ++extra_share[order[oi % order.size()]];
+            ++used;
+            ++oi;
+        }
+    } else if (surplus > 0) {
+        // Everyone heavy is a donor: nothing sensible to transfer.
+        surplus = 0;
+        std::fill(donor.begin(), donor.end(), false);
+    }
+
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        if (light[t])
+            shares[t] = std::max(1u, light_banks);
+        else if (donor[t])
+            shares[t] = params_.streamBanks;
+        else
+            shares[t] = base[t] + extra_share[t];
+    }
+    return shares;
+}
+
+bool
+DbpPolicy::shouldMigrate(unsigned thread) const
+{
+    if (thread >= currentLight_.size())
+        return true; // before the first interval: no light info yet.
+    return !currentLight_[thread];
+}
+
+std::optional<PartitionAssignment>
+DbpPolicy::onInterval(const std::vector<ThreadMemProfile> &profiles)
+{
+    DBP_ASSERT(profiles.size() == numThreads_,
+               "dbp: profile vector size mismatch");
+
+    // Cold-start guard: the first intervals' profiles are dominated
+    // by window fill and first-touch allocation; re-seed the smoother
+    // and do not act on them.
+    if (intervalsSeen_ < params_.warmupIntervals) {
+        ++intervalsSeen_;
+        smoothed_ = profiles;
+        return std::nullopt;
+    }
+    ++intervalsSeen_;
+
+    // Smooth the noisy per-interval estimates so one odd interval
+    // cannot reshuffle banks (and trigger a page-migration wave).
+    if (smoothed_.empty()) {
+        smoothed_ = profiles;
+    } else {
+        double a = params_.ewmaAlpha;
+        for (unsigned t = 0; t < numThreads_; ++t) {
+            ThreadMemProfile &s = smoothed_[t];
+            const ThreadMemProfile &n = profiles[t];
+            s.mpki = a * s.mpki + (1 - a) * n.mpki;
+            s.mlp = a * s.mlp + (1 - a) * n.mlp;
+            s.rowParallelism = a * s.rowParallelism +
+                (1 - a) * n.rowParallelism;
+            s.blp = a * s.blp + (1 - a) * n.blp;
+            s.rowBufferHitRate = a * s.rowBufferHitRate +
+                (1 - a) * n.rowBufferHitRate;
+            s.requests = n.requests;
+            s.instructions = n.instructions;
+            s.footprintPages = n.footprintPages;
+        }
+    }
+
+    // Cooldown: never repartition two adjacent intervals.
+    ++sinceRepartition_;
+    if (sinceRepartition_ < params_.cooldownIntervals)
+        return std::nullopt;
+
+    std::vector<bool> light(numThreads_, false);
+    for (unsigned t = 0; t < numThreads_; ++t)
+        light[t] = smoothed_[t].mpki < params_.lightMpki;
+
+    std::vector<unsigned> shares = bankShares(smoothed_);
+
+    // Hysteresis: adopt only if some thread's allocation moved enough
+    // or its light/heavy classification flipped.
+    DBP_ASSERT(currentCounts_.size() == numThreads_,
+               "onInterval before initialAssignment");
+    unsigned max_delta = 0;
+    bool class_change = false;
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        unsigned delta = shares[t] > currentCounts_[t]
+            ? shares[t] - currentCounts_[t]
+            : currentCounts_[t] - shares[t];
+        max_delta = std::max(max_delta, delta);
+        class_change = class_change || light[t] != currentLight_[t];
+    }
+    if (max_delta < params_.hysteresisBanks && !class_change)
+        return std::nullopt;
+
+    currentCounts_ = shares;
+    currentLight_ = light;
+    ++repartitions_;
+    sinceRepartition_ = 0;
+    if (std::getenv("DBPSIM_DEBUG_DBP")) {
+        std::ostringstream os;
+        os << "dbp repartition #" << repartitions_ << ":";
+        for (unsigned t = 0; t < numThreads_; ++t)
+            os << " t" << t << "=" << shares[t]
+               << (light[t] ? "L" : "")
+               << "(rbhr=" << smoothed_[t].rowBufferHitRate
+               << ",drp=" << smoothed_[t].rowParallelism
+               << ",mpki=" << smoothed_[t].mpki << ")";
+        inform(os.str());
+    }
+    return buildAssignment(shares, light);
+}
+
+PartitionAssignment
+DbpPolicy::buildAssignment(const std::vector<unsigned> &counts,
+                           const std::vector<bool> &light)
+{
+    // All-light case: everyone shares every bank; ownership dissolves.
+    bool everyone_everything = true;
+    for (unsigned t = 0; t < numThreads_; ++t)
+        if (counts[t] != totalColors_)
+            everyone_everything = false;
+    if (everyone_everything) {
+        clearOwnership();
+        sharedAll_ = true;
+        std::vector<unsigned> all(totalColors_);
+        for (unsigned c = 0; c < totalColors_; ++c)
+            all[c] = c;
+        return PartitionAssignment(numThreads_, all);
+    }
+
+    unsigned light_banks = 0;
+    unsigned heavy_sum = 0;
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        if (light[t])
+            light_banks = counts[t];
+        else
+            heavy_sum += counts[t];
+    }
+
+    // Pathological sharing case (more heavy threads than banks): a
+    // stable incremental hand-off cannot represent shared ownership;
+    // rebuild fresh with wrap-around sharing.
+    if (heavy_sum + light_banks > totalColors_) {
+        clearOwnership();
+        sharedAll_ = false;
+        PartitionAssignment out(numThreads_);
+        std::size_t pos = 0;
+        std::vector<unsigned> light_set;
+        for (unsigned i = 0; i < light_banks; ++i)
+            light_set.push_back(
+                spreadOrder_[totalColors_ - 1 - i]);
+        std::size_t head_span = totalColors_ - light_banks;
+        for (unsigned t = 0; t < numThreads_; ++t) {
+            if (light[t]) {
+                out[t] = light_set;
+                continue;
+            }
+            for (unsigned i = 0; i < counts[t]; ++i)
+                out[t].push_back(spreadOrder_[pos++ % head_span]);
+        }
+        return out;
+    }
+
+    // Leaving the shared-all state: nothing is owned; seed ownership
+    // with fresh contiguous slices (one-time cost).
+    if (sharedAll_) {
+        clearOwnership();
+        sharedAll_ = false;
+    }
+
+    // ---- Incremental hand-off: entities keep what they own; only
+    // the delta changes hands, which is what keeps page migration
+    // proportional to the *change* in the partition rather than to
+    // the machine size.
+
+    // Target per entity: heavy thread t -> counts[t]; threads now
+    // light own nothing directly (the light set is a shared entity).
+    std::vector<unsigned> free_pool;
+
+    // Release phase.
+    for (unsigned t = 0; t < numThreads_; ++t) {
+        unsigned target = light[t] ? 0 : counts[t];
+        while (owned_[t].size() > target) {
+            free_pool.push_back(owned_[t].back());
+            owned_[t].pop_back();
+        }
+    }
+    while (lightSet_.size() > light_banks) {
+        free_pool.push_back(lightSet_.back());
+        lightSet_.pop_back();
+    }
+
+    // Any color neither owned nor already released (first incremental
+    // call after a reset) also enters the pool.
+    {
+        std::vector<bool> accounted(totalColors_, false);
+        for (const auto &o : owned_)
+            for (unsigned c : o)
+                accounted[c] = true;
+        for (unsigned c : lightSet_)
+            accounted[c] = true;
+        for (unsigned c : free_pool)
+            accounted[c] = true;
+        for (unsigned c = 0; c < totalColors_; ++c)
+            if (!accounted[c])
+                free_pool.push_back(c);
+    }
+
+    // Sort the pool along the channel-spreading order so acquisitions
+    // spread across channels/ranks.
+    std::sort(free_pool.begin(), free_pool.end(),
+              [&](unsigned a, unsigned b) {
+                  return spreadPos_[a] < spreadPos_[b];
+              });
+
+    // Acquire phase: round-robin over needy entities so each gets a
+    // spread slice of the pool. The light set acquires from the tail
+    // (it historically lives at the end of the spread order).
+    std::size_t pool_head = 0;
+    std::size_t pool_tail = free_pool.size();
+    while (lightSet_.size() < light_banks) {
+        DBP_ASSERT(pool_head < pool_tail, "dbp: pool exhausted (light)");
+        lightSet_.push_back(free_pool[--pool_tail]);
+    }
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (unsigned t = 0; t < numThreads_; ++t) {
+            if (light[t] || owned_[t].size() >= counts[t])
+                continue;
+            DBP_ASSERT(pool_head < pool_tail,
+                       "dbp: pool exhausted (heavy)");
+            owned_[t].push_back(free_pool[pool_head++]);
+            progress = true;
+        }
+    }
+    DBP_ASSERT(pool_head == pool_tail,
+               "dbp: " << (pool_tail - pool_head)
+               << " colors left unassigned");
+
+    PartitionAssignment out(numThreads_);
+    for (unsigned t = 0; t < numThreads_; ++t)
+        out[t] = light[t] ? lightSet_ : owned_[t];
+    return out;
+}
+
+} // namespace dbpsim

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Dynamic Bank Partitioning (Xie et al., HPCA 2014) — the paper's
+ * contribution.
+ *
+ * Every profiling interval the policy:
+ *  1. classifies threads by memory intensity: light threads
+ *     (MPKI < lightMpki) are grouped into one small shared color set —
+ *     they access DRAM too rarely to interfere with each other, and
+ *     giving each a private share would waste banks;
+ *  2. starts heavy threads from the equal split (bank utility is
+ *     concave — fig2 — so the equal share is near-optimal for threads
+ *     of similar behaviour), then identifies streaming threads
+ *     (intrinsic shadow RBHR >= streamRbhr): they run from the row
+ *     buffer, keep only streamBanks banks, and donate the rest;
+ *  3. redistributes the donated banks to the remaining heavy threads
+ *     in proportion to row-miss intensity, MPKI * (1 - RBHR) — the
+ *     partition-invariant measure of bank-service demand (measured
+ *     BLP is censored by the current partition and useless here);
+ *  4. applies hysteresis: a new assignment is adopted only when some
+ *     thread's bank count moves by at least hysteresisBanks, keeping
+ *     migration costs bounded.
+ *
+ * Color sets are carved as contiguous slices of the channel-spreading
+ * color order, so every thread's banks span channels and ranks, and
+ * small demand changes move few banks.
+ */
+
+#ifndef DBPSIM_PART_PART_DBP_HH
+#define DBPSIM_PART_PART_DBP_HH
+
+#include <cstdint>
+
+#include "part/policy.hh"
+
+namespace dbpsim {
+
+/**
+ * DBP tuning knobs.
+ */
+struct DbpParams
+{
+    /** Threads below this MPKI are "light" and share one color set. */
+    double lightMpki = 1.0;
+
+    /** Shared banks granted per light thread (ceil of sum, >= 1). */
+    double lightBanksPerThread = 1.0;
+
+    /**
+     * Threads whose intrinsic row-buffer hit rate is at or above this
+     * are streamers: they run from the row buffer and donate their
+     * surplus banks.
+     */
+    double streamRbhr = 0.9;
+
+    /** Banks a streaming donor keeps. */
+    unsigned streamBanks = 2;
+
+    /**
+     * A donor's distinct-row parallelism must not exceed this: wide
+     * multi-stream apps have high RBHR but need a bank per stream.
+     */
+    double maxDonorRows = 2.5;
+
+    /**
+     * Ablation switch: ignore the measured demand and treat every
+     * heavy thread as equal (isolates the value of the estimator).
+     */
+    bool flatDemand = false;
+
+    /** Adopt a new partition only when some thread's bank count
+     *  changes by at least this many banks (absorbs one-bank jitter
+     *  in the BLP estimate). */
+    unsigned hysteresisBanks = 2;
+
+    /** Cap on the light group size as a fraction of all banks. */
+    double lightShareCap = 0.25;
+
+    /**
+     * EWMA weight on history when smoothing the per-thread MLP/RBHR
+     * estimates across intervals (0 = use raw interval values).
+     * Smoothing keeps one noisy interval from reshuffling banks.
+     */
+    double ewmaAlpha = 0.5;
+
+    /** Minimum profiling intervals between adopted repartitions. */
+    unsigned cooldownIntervals = 2;
+
+    /**
+     * Ignore this many initial profiling intervals: cold-start
+     * profiles (window fill, first-touch allocation bursts) are not
+     * representative, and acting on them scatters pages that later
+     * have to be migrated back.
+     */
+    unsigned warmupIntervals = 2;
+};
+
+/**
+ * The DBP policy.
+ */
+class DbpPolicy : public PartitionPolicy
+{
+  public:
+    /**
+     * @param num_threads Hardware threads.
+     * @param channels / @p ranks / @p banks Machine geometry.
+     * @param params Tuning knobs.
+     */
+    DbpPolicy(unsigned num_threads, unsigned channels, unsigned ranks,
+              unsigned banks, DbpParams params = {});
+
+    std::string name() const override { return "dbp"; }
+
+    /** Starts from the equal partition (no profile yet). */
+    PartitionAssignment initialAssignment() override;
+
+    std::optional<PartitionAssignment>
+    onInterval(const std::vector<ThreadMemProfile> &profiles) override;
+
+    /** Heavy threads migrate; light threads' leftovers stay put. */
+    bool shouldMigrate(unsigned thread) const override;
+
+    /**
+     * Pure demand estimation (exposed for tests and the demand-
+     * estimation figure): per-thread bank counts, summing to the
+     * machine's bank total; light threads report their shared group's
+     * size.
+     */
+    std::vector<unsigned>
+    bankShares(const std::vector<ThreadMemProfile> &profiles) const;
+
+    /** Repartitions actually adopted so far. */
+    std::uint64_t repartitions() const { return repartitions_; }
+
+    /** Parameters in use. */
+    const DbpParams &params() const { return params_; }
+
+  private:
+    /**
+     * Build color sets from per-thread counts + light membership,
+     * incrementally: entities keep the colors they already own and
+     * only the delta changes hands (bounds page migration by the
+     * partition *change*, not the machine size).
+     */
+    PartitionAssignment
+    buildAssignment(const std::vector<unsigned> &counts,
+                    const std::vector<bool> &light);
+
+    /** Drop all ownership state (fresh-assignment paths). */
+    void clearOwnership();
+
+    unsigned numThreads_;
+    unsigned channels_;
+    unsigned ranks_;
+    unsigned banks_;
+    unsigned totalColors_;
+    DbpParams params_;
+
+    /** Colors in channel-spreading order, and each color's position. */
+    std::vector<unsigned> spreadOrder_;
+    std::vector<unsigned> spreadPos_;
+
+    /** Colors owned per heavy thread, in acquisition order. */
+    std::vector<std::vector<unsigned>> owned_;
+
+    /** Colors of the shared light set, in acquisition order. */
+    std::vector<unsigned> lightSet_;
+
+    /** Everyone currently shares all banks (all-light state). */
+    bool sharedAll_ = false;
+
+    /** Bank counts of the currently adopted partition (hysteresis). */
+    std::vector<unsigned> currentCounts_;
+
+    /** Light classification of the current partition. */
+    std::vector<bool> currentLight_;
+    std::uint64_t repartitions_ = 0;
+
+    /** EWMA-smoothed per-thread estimates (empty until 1st interval). */
+    std::vector<ThreadMemProfile> smoothed_;
+
+    /** Intervals since the last adopted repartition. */
+    unsigned sinceRepartition_ = 0;
+
+    /** Total profiling intervals observed (cold-start guard). */
+    unsigned intervalsSeen_ = 0;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_PART_PART_DBP_HH

@@ -1,0 +1,46 @@
+#include "part/part_factory.hh"
+
+#include "common/log.hh"
+#include "part/part_combined.hh"
+#include "part/part_none.hh"
+#include "part/part_ubp.hh"
+
+namespace dbpsim {
+
+const std::vector<std::string> &
+partitionPolicyNames()
+{
+    static const std::vector<std::string> names = {
+        "none", "ubp", "dbp", "mcp", "dbp-mcp",
+    };
+    return names;
+}
+
+std::unique_ptr<PartitionPolicy>
+makePartitionPolicy(const std::string &name, const PartitionInit &init)
+{
+    const DramGeometry &g = init.geometry;
+    if (name == "none")
+        return std::make_unique<NonePolicy>(init.numThreads,
+                                            g.totalBanks());
+    if (name == "ubp")
+        return std::make_unique<UbpPolicy>(init.numThreads, g.channels,
+                                           g.ranksPerChannel,
+                                           g.banksPerRank);
+    if (name == "dbp")
+        return std::make_unique<DbpPolicy>(init.numThreads, g.channels,
+                                           g.ranksPerChannel,
+                                           g.banksPerRank, init.dbp);
+    if (name == "mcp")
+        return std::make_unique<McpPolicy>(init.numThreads, g.channels,
+                                           g.ranksPerChannel,
+                                           g.banksPerRank, init.mcp);
+    if (name == "dbp-mcp")
+        return std::make_unique<CombinedPolicy>(
+            init.numThreads, g.channels, g.ranksPerChannel,
+            g.banksPerRank, init.dbp, init.mcp);
+    fatal("unknown partition policy '", name,
+          "' (expected none|ubp|dbp|mcp|dbp-mcp)");
+}
+
+} // namespace dbpsim

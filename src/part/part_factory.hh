@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Partition-policy construction by name.
+ */
+
+#ifndef DBPSIM_PART_PART_FACTORY_HH
+#define DBPSIM_PART_PART_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dram/addr_map.hh"
+#include "part/part_dbp.hh"
+#include "part/part_mcp.hh"
+#include "part/policy.hh"
+
+namespace dbpsim {
+
+/**
+ * Everything policy constructors might need.
+ */
+struct PartitionInit
+{
+    unsigned numThreads = 8;
+    DramGeometry geometry;
+    DbpParams dbp;
+    McpParams mcp;
+};
+
+/** Names accepted by makePartitionPolicy, in a stable order. */
+const std::vector<std::string> &partitionPolicyNames();
+
+/**
+ * Build a policy: "none", "ubp", "dbp" or "mcp". fatal()s on unknown
+ * names.
+ */
+std::unique_ptr<PartitionPolicy>
+makePartitionPolicy(const std::string &name, const PartitionInit &init);
+
+} // namespace dbpsim
+
+#endif // DBPSIM_PART_PART_FACTORY_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unpartitioned baseline: every thread may allocate in every bank.
+ * Interference is whatever the scheduler leaves.
+ */
+
+#ifndef DBPSIM_PART_PART_NONE_HH
+#define DBPSIM_PART_PART_NONE_HH
+
+#include "part/policy.hh"
+
+namespace dbpsim {
+
+/**
+ * No partitioning.
+ */
+class NonePolicy : public PartitionPolicy
+{
+  public:
+    /**
+     * @param num_threads Hardware threads.
+     * @param num_colors Machine-wide banks.
+     */
+    NonePolicy(unsigned num_threads, unsigned num_colors)
+        : numThreads_(num_threads), numColors_(num_colors)
+    {
+    }
+
+    std::string name() const override { return "none"; }
+
+    PartitionAssignment
+    initialAssignment() override
+    {
+        std::vector<unsigned> all(numColors_);
+        for (unsigned c = 0; c < numColors_; ++c)
+            all[c] = c;
+        return PartitionAssignment(numThreads_, all);
+    }
+
+    std::optional<PartitionAssignment>
+    onInterval(const std::vector<ThreadMemProfile> &profiles) override
+    {
+        (void)profiles;
+        return std::nullopt;
+    }
+
+  private:
+    unsigned numThreads_;
+    unsigned numColors_;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_PART_PART_NONE_HH

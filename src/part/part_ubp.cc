@@ -1,0 +1,44 @@
+#include "part/part_ubp.hh"
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+UbpPolicy::UbpPolicy(unsigned num_threads, unsigned channels,
+                     unsigned ranks, unsigned banks)
+    : numThreads_(num_threads), channels_(channels), ranks_(ranks),
+      banks_(banks)
+{
+    DBP_ASSERT(num_threads > 0, "ubp needs >= 1 thread");
+}
+
+PartitionAssignment
+UbpPolicy::initialAssignment()
+{
+    std::vector<unsigned> order =
+        channelSpreadColorOrder(channels_, ranks_, banks_);
+    unsigned total = static_cast<unsigned>(order.size());
+
+    PartitionAssignment out(numThreads_);
+    if (total >= numThreads_) {
+        // Contiguous slices of the channel-spreading order: every
+        // slice covers all (channel, rank) pairs before moving to the
+        // next bank index, so each thread's share spans channels and
+        // ranks. Remainder banks go to the first threads.
+        unsigned base = total / numThreads_;
+        unsigned extra = total % numThreads_;
+        unsigned pos = 0;
+        for (unsigned t = 0; t < numThreads_; ++t) {
+            unsigned take = base + (t < extra ? 1 : 0);
+            for (unsigned i = 0; i < take; ++i)
+                out[t].push_back(order[pos++]);
+        }
+    } else {
+        // More threads than banks: threads share banks round-robin.
+        for (unsigned t = 0; t < numThreads_; ++t)
+            out[t].push_back(order[t % total]);
+    }
+    return out;
+}
+
+} // namespace dbpsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Equal (uniform) static bank partitioning — the prior scheme DBP
+ * improves on: banks are divided evenly among threads once, which
+ * eliminates inter-thread row-buffer interference but caps every
+ * thread's bank-level parallelism at banks/threads regardless of need.
+ */
+
+#ifndef DBPSIM_PART_PART_UBP_HH
+#define DBPSIM_PART_PART_UBP_HH
+
+#include "part/policy.hh"
+
+namespace dbpsim {
+
+/**
+ * Uniform bank partitioning.
+ */
+class UbpPolicy : public PartitionPolicy
+{
+  public:
+    /**
+     * @param num_threads Hardware threads.
+     * @param channels / @p ranks / @p banks Machine geometry, used to
+     *        spread each thread's equal share across channels/ranks.
+     */
+    UbpPolicy(unsigned num_threads, unsigned channels, unsigned ranks,
+              unsigned banks);
+
+    std::string name() const override { return "ubp"; }
+
+    PartitionAssignment initialAssignment() override;
+
+    std::optional<PartitionAssignment>
+    onInterval(const std::vector<ThreadMemProfile> &profiles) override
+    {
+        (void)profiles;
+        return std::nullopt;
+    }
+
+  private:
+    unsigned numThreads_;
+    unsigned channels_;
+    unsigned ranks_;
+    unsigned banks_;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_PART_PART_UBP_HH

@@ -1,0 +1,21 @@
+#include "part/policy.hh"
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+std::vector<unsigned>
+channelSpreadColorOrder(unsigned channels, unsigned ranks, unsigned banks)
+{
+    DBP_ASSERT(channels > 0 && ranks > 0 && banks > 0,
+               "bad geometry for color order");
+    std::vector<unsigned> order;
+    order.reserve(static_cast<std::size_t>(channels) * ranks * banks);
+    for (unsigned b = 0; b < banks; ++b)
+        for (unsigned r = 0; r < ranks; ++r)
+            for (unsigned c = 0; c < channels; ++c)
+                order.push_back((c * ranks + r) * banks + b);
+    return order;
+}
+
+} // namespace dbpsim

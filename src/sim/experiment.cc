@@ -1,0 +1,96 @@
+#include "sim/experiment.hh"
+
+#include "common/log.hh"
+#include "trace/spec_profiles.hh"
+
+namespace dbpsim {
+
+ExperimentRunner::ExperimentRunner(RunConfig config)
+    : config_(std::move(config))
+{
+    DBP_ASSERT(config_.measureCpu > 0, "measureCpu must be > 0");
+}
+
+void
+ExperimentRunner::runAlone(const std::string &app)
+{
+    SystemParams params = config_.base;
+    params.numCores = 1;
+    params.scheduler = "fr-fcfs";
+    params.partition = "none";
+    // One profiling interval covering exactly the full run, closed
+    // explicitly at the end, so the alone profile summarizes the whole
+    // execution.
+    params.profileIntervalCpu = config_.warmupCpu + config_.measureCpu +
+        1'000'000'000ULL;
+
+    auto source = makeSpecSource(app, config_.seedBase * 31 + 7);
+    std::vector<TraceSource *> sources{source.get()};
+    System system(params, sources);
+    std::vector<double> ipc = system.runAndMeasure(config_.warmupCpu,
+                                                   config_.measureCpu);
+    system.closeIntervalNow();
+
+    aloneIpcCache_[app] = ipc.at(0);
+    aloneProfileCache_[app] = system.lastIntervalProfiles().at(0);
+}
+
+double
+ExperimentRunner::aloneIpc(const std::string &app)
+{
+    auto it = aloneIpcCache_.find(app);
+    if (it == aloneIpcCache_.end()) {
+        runAlone(app);
+        it = aloneIpcCache_.find(app);
+    }
+    return it->second;
+}
+
+ThreadMemProfile
+ExperimentRunner::aloneProfile(const std::string &app)
+{
+    auto it = aloneProfileCache_.find(app);
+    if (it == aloneProfileCache_.end()) {
+        runAlone(app);
+        it = aloneProfileCache_.find(app);
+    }
+    return it->second;
+}
+
+MixResult
+ExperimentRunner::runMix(const WorkloadMix &mix, const Scheme &scheme)
+{
+    SystemParams params = applyScheme(config_.base, scheme);
+    params.numCores = static_cast<unsigned>(mix.apps.size());
+
+    auto owned = buildMixSources(mix, config_.seedBase);
+    std::vector<TraceSource *> sources;
+    sources.reserve(owned.size());
+    for (auto &s : owned)
+        sources.push_back(s.get());
+
+    System system(params, sources);
+    std::vector<double> shared = system.runAndMeasure(config_.warmupCpu,
+                                                      config_.measureCpu);
+
+    MixResult result;
+    result.mixName = mix.name;
+    result.schemeName = scheme.name;
+    result.sharedIpc = shared;
+    for (const auto &app : mix.apps)
+        result.aloneIpc.push_back(aloneIpc(app));
+    result.metrics = computeMetrics(result.aloneIpc, result.sharedIpc);
+
+    for (unsigned t = 0; t < params.numCores; ++t) {
+        auto tid = static_cast<ThreadId>(t);
+        result.rowHitRate.push_back(system.threadRowHitRate(tid));
+        result.readLatency.push_back(system.threadAvgReadLatency(tid));
+    }
+    result.pagesMigrated =
+        system.partitionManager().statPagesMigrated.value();
+    result.repartitions =
+        system.partitionManager().statRepartitions.value();
+    return result;
+}
+
+} // namespace dbpsim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Experiment harness: runs workload mixes under schemes, computing
+ * alone-run baselines once per (application, hardware) pair and the
+ * paper's metrics per run. Every figure bench builds on this.
+ */
+
+#ifndef DBPSIM_SIM_EXPERIMENT_HH
+#define DBPSIM_SIM_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/schemes.hh"
+#include "sim/system.hh"
+#include "trace/mix.hh"
+
+namespace dbpsim {
+
+/**
+ * Harness configuration.
+ */
+struct RunConfig
+{
+    /** Hardware/system baseline; scheduler/partition come per scheme. */
+    SystemParams base;
+
+    /** Warm-up CPU cycles (excluded from measurement). */
+    Cycle warmupCpu = 2'000'000;
+
+    /** Measured CPU cycles. */
+    Cycle measureCpu = 5'000'000;
+
+    /** Base seed for trace-generator instantiation. */
+    std::uint64_t seedBase = 42;
+};
+
+/**
+ * Result of one mix under one scheme.
+ */
+struct MixResult
+{
+    std::string mixName;
+    std::string schemeName;
+    SystemMetrics metrics;
+    std::vector<double> aloneIpc;
+    std::vector<double> sharedIpc;
+    std::vector<double> rowHitRate;   ///< per thread, shared run.
+    std::vector<double> readLatency;  ///< per thread, bus cycles.
+    std::uint64_t pagesMigrated = 0;
+    std::uint64_t repartitions = 0;
+};
+
+/**
+ * The harness. Alone-run IPCs are cached per application profile, so
+ * sweeping many schemes over many mixes pays the baseline cost once.
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(RunConfig config);
+
+    /**
+     * Alone IPC of @p app on the configured hardware (FR-FCFS,
+     * unpartitioned, single core) — the denominator of every speedup.
+     */
+    double aloneIpc(const std::string &app);
+
+    /** Run @p mix under @p scheme. */
+    MixResult runMix(const WorkloadMix &mix, const Scheme &scheme);
+
+    /**
+     * Alone-run characteristics of an application (for the workload
+     * table and motivation figures): measured MPKI, shadow row-buffer
+     * hit rate, BLP, IPC, footprint.
+     */
+    ThreadMemProfile aloneProfile(const std::string &app);
+
+    /** Configuration access. */
+    const RunConfig &config() const { return config_; }
+
+  private:
+    /** Run an app alone; fills both caches. */
+    void runAlone(const std::string &app);
+
+    RunConfig config_;
+    std::map<std::string, double> aloneIpcCache_;
+    std::map<std::string, ThreadMemProfile> aloneProfileCache_;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_SIM_EXPERIMENT_HH

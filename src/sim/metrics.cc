@@ -1,0 +1,36 @@
+#include "sim/metrics.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+SystemMetrics
+computeMetrics(const std::vector<double> &alone_ipc,
+               const std::vector<double> &shared_ipc)
+{
+    DBP_ASSERT(alone_ipc.size() == shared_ipc.size(),
+               "metric vectors differ in size");
+    DBP_ASSERT(!alone_ipc.empty(), "metrics need >= 1 thread");
+
+    SystemMetrics m;
+    double inv_sum = 0.0;
+    for (std::size_t i = 0; i < alone_ipc.size(); ++i) {
+        DBP_ASSERT(alone_ipc[i] > 0.0,
+                   "alone IPC of thread " << i << " not positive");
+        DBP_ASSERT(shared_ipc[i] > 0.0,
+                   "shared IPC of thread " << i << " not positive");
+        double speedup = shared_ipc[i] / alone_ipc[i];
+        double slowdown = alone_ipc[i] / shared_ipc[i];
+        m.speedups.push_back(speedup);
+        m.slowdowns.push_back(slowdown);
+        m.weightedSpeedup += speedup;
+        m.maxSlowdown = std::max(m.maxSlowdown, slowdown);
+        inv_sum += slowdown;
+    }
+    m.harmonicSpeedup = static_cast<double>(alone_ipc.size()) / inv_sum;
+    return m;
+}
+
+} // namespace dbpsim

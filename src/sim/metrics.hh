@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The paper's evaluation metrics over per-thread alone/shared IPCs:
+ * weighted speedup (system throughput), harmonic mean of speedups
+ * (balanced throughput+fairness), and maximum slowdown (unfairness —
+ * lower is fairer).
+ */
+
+#ifndef DBPSIM_SIM_METRICS_HH
+#define DBPSIM_SIM_METRICS_HH
+
+#include <vector>
+
+namespace dbpsim {
+
+/**
+ * Metric bundle for one multiprogrammed run.
+ */
+struct SystemMetrics
+{
+    /** Sum over threads of IPC_shared / IPC_alone. */
+    double weightedSpeedup = 0.0;
+
+    /** N / sum of IPC_alone / IPC_shared. */
+    double harmonicSpeedup = 0.0;
+
+    /** max over threads of IPC_alone / IPC_shared (unfairness). */
+    double maxSlowdown = 0.0;
+
+    /** Per-thread IPC_shared / IPC_alone. */
+    std::vector<double> speedups;
+
+    /** Per-thread IPC_alone / IPC_shared. */
+    std::vector<double> slowdowns;
+};
+
+/**
+ * Compute the bundle. Vectors must be equal sized and IPCs positive.
+ */
+SystemMetrics computeMetrics(const std::vector<double> &alone_ipc,
+                             const std::vector<double> &shared_ipc);
+
+} // namespace dbpsim
+
+#endif // DBPSIM_SIM_METRICS_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Aggregated system configuration: everything needed to build a full
+ * CMP + DRAM system, with the paper's evaluation defaults, plus
+ * parsing from a Config (command-line key=value overrides).
+ */
+
+#ifndef DBPSIM_SIM_PARAMS_HH
+#define DBPSIM_SIM_PARAMS_HH
+
+#include <string>
+
+#include "cache/cache.hh"
+#include "common/config.hh"
+#include "core/core.hh"
+#include "dram/addr_map.hh"
+#include "dram/timing.hh"
+#include "mem/controller.hh"
+#include "mem/sched_factory.hh"
+#include "part/manager.hh"
+#include "part/part_dbp.hh"
+#include "part/part_mcp.hh"
+
+namespace dbpsim {
+
+/**
+ * Full system parameterization.
+ */
+struct SystemParams
+{
+    /** Cores / hardware threads (one application each). */
+    unsigned numCores = 8;
+
+    /** CPU cycles per memory-bus cycle (3.2 GHz over 800 MHz). */
+    unsigned cpuRatio = 4;
+
+    /** Core front-end configuration. */
+    CoreParams core;
+
+    /** DRAM geometry. Default: 2 channels x 2 ranks x 8 banks
+     *  (32 banks), 64 Ki rows x 8 KiB rows (16 GiB total). */
+    DramGeometry geometry;
+
+    /** DDR timing preset name. */
+    std::string timingName = "ddr3-1600";
+
+    /** Address-mapping scheme (page interleave enables coloring). */
+    MapScheme scheme = MapScheme::PageInterleave;
+
+    /** Permutation-based bank XOR (ablations only). */
+    bool bankXor = false;
+
+    /** Controller queues and drain watermarks. */
+    ControllerParams controller;
+
+    /** Scheduler name: fcfs | fr-fcfs | par-bs | atlas | tcm. */
+    std::string scheduler = "fr-fcfs";
+
+    /** Scheduler tuning. */
+    SchedulerInit sched;
+
+    /** Partition policy name: none | ubp | dbp | mcp. */
+    std::string partition = "none";
+
+    /** DBP tuning. */
+    DbpParams dbp;
+
+    /** MCP tuning. */
+    McpParams mcp;
+
+    /** Migration behaviour. */
+    PartitionManagerParams partMgr;
+
+    /** Profiling / repartitioning interval in CPU cycles. */
+    Cycle profileIntervalCpu = 10'000'000;
+
+    /** Private per-core cache in front of the memory system. */
+    bool cacheEnabled = false;
+
+    /** Private cache configuration (when enabled). */
+    CacheParams cache;
+
+    /** Construct the evaluation-default parameters. */
+    SystemParams();
+
+    /** Apply key=value overrides (see README for the key list). */
+    void applyConfig(const Config &config);
+
+    /** Resolve the timing preset. */
+    DramTiming timing() const { return dramTimingByName(timingName); }
+
+    /** One-line summary for logs. */
+    std::string summary() const;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_SIM_PARAMS_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Named (scheduler, partition) combinations — the schemes the paper's
+ * figures compare.
+ */
+
+#ifndef DBPSIM_SIM_SCHEMES_HH
+#define DBPSIM_SIM_SCHEMES_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/params.hh"
+
+namespace dbpsim {
+
+/**
+ * One evaluated scheme.
+ */
+struct Scheme
+{
+    std::string name;      ///< display name ("DBP-TCM").
+    std::string scheduler; ///< scheduler factory name.
+    std::string partition; ///< partition-policy factory name.
+};
+
+/**
+ * The paper's scheme set:
+ *   FR-FCFS (baseline), UBP, DBP, TCM, DBP-TCM, MCP,
+ * plus PAR-BS and ATLAS for the scheduler-landscape figure.
+ */
+const std::vector<Scheme> &standardSchemes();
+
+/** Look up by display name; fatal() if unknown. */
+const Scheme &schemeByName(const std::string &name);
+
+/** Copy @p base and install the scheme's scheduler + partition. */
+SystemParams applyScheme(const SystemParams &base, const Scheme &scheme);
+
+} // namespace dbpsim
+
+#endif // DBPSIM_SIM_SCHEMES_HH

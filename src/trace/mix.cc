@@ -1,0 +1,92 @@
+#include "trace/mix.hh"
+
+#include "common/log.hh"
+#include "trace/spec_profiles.hh"
+
+namespace dbpsim {
+
+double
+WorkloadMix::intensiveFraction() const
+{
+    if (apps.empty())
+        return 0.0;
+    unsigned intensive = 0;
+    for (const auto &a : apps)
+        if (specProfile(a).intensive)
+            ++intensive;
+    return static_cast<double>(intensive) /
+        static_cast<double>(apps.size());
+}
+
+const std::vector<WorkloadMix> &
+standardMixes()
+{
+    static const std::vector<WorkloadMix> mixes = {
+        // 25 % intensive.
+        {"W01", {"mcf", "lbm", "gcc", "bzip2", "hmmer", "h264ref",
+                 "namd", "povray"}},
+        {"W02", {"libquantum", "omnetpp", "gcc", "hmmer", "h264ref",
+                 "calculix", "namd", "povray"}},
+        {"W03", {"soplex", "sphinx3", "bzip2", "hmmer", "h264ref",
+                 "namd", "povray", "calculix"}},
+        // 50 % intensive.
+        {"W04", {"mcf", "lbm", "libquantum", "omnetpp", "gcc",
+                 "hmmer", "h264ref", "namd"}},
+        {"W05", {"milc", "soplex", "gems", "astar", "namd", "povray",
+                 "calculix", "gcc"}},
+        {"W06", {"mcf", "libquantum", "leslie3d", "sphinx3", "hmmer",
+                 "h264ref", "namd", "povray"}},
+        // 75 % intensive.
+        {"W07", {"mcf", "lbm", "libquantum", "milc", "soplex",
+                 "omnetpp", "gcc", "hmmer"}},
+        {"W08", {"gems", "leslie3d", "sphinx3", "astar", "bwaves",
+                 "xalancbmk", "hmmer", "h264ref"}},
+        {"W09", {"mcf", "omnetpp", "soplex", "bwaves", "libquantum",
+                 "astar", "povray", "calculix"}},
+        // 100 % intensive.
+        {"W10", {"mcf", "lbm", "libquantum", "milc", "soplex",
+                 "omnetpp", "gems", "leslie3d"}},
+        {"W11", {"sphinx3", "astar", "bwaves", "xalancbmk", "mcf",
+                 "lbm", "omnetpp", "soplex"}},
+        {"W12", {"milc", "gems", "leslie3d", "bwaves", "xalancbmk",
+                 "sphinx3", "astar", "mcf"}},
+    };
+    return mixes;
+}
+
+const WorkloadMix &
+mixByName(const std::string &name)
+{
+    for (const auto &m : standardMixes())
+        if (m.name == name)
+            return m;
+    fatal("unknown workload mix '", name, "'");
+}
+
+WorkloadMix
+scaleMix(const WorkloadMix &mix, unsigned cores)
+{
+    DBP_ASSERT(!mix.apps.empty(), "cannot scale an empty mix");
+    if (cores == mix.apps.size())
+        return mix;
+    WorkloadMix out;
+    out.name = mix.name + "x" + std::to_string(cores);
+    out.apps.reserve(cores);
+    for (unsigned i = 0; i < cores; ++i)
+        out.apps.push_back(mix.apps[i % mix.apps.size()]);
+    return out;
+}
+
+std::vector<std::unique_ptr<TraceSource>>
+buildMixSources(const WorkloadMix &mix, std::uint64_t seed_base)
+{
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    sources.reserve(mix.apps.size());
+    for (std::size_t i = 0; i < mix.apps.size(); ++i) {
+        std::uint64_t seed = seed_base * 1000003ULL + i * 7919ULL + 1;
+        sources.push_back(makeSpecSource(mix.apps[i], seed));
+    }
+    return sources;
+}
+
+} // namespace dbpsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Multiprogrammed workload mixes.
+ *
+ * The standard evaluation set (W01..W12) mirrors the paper's
+ * methodology: mixes graded by the fraction of memory-intensive
+ * applications (25 % / 50 % / 75 % / 100 %), three mixes per grade,
+ * eight applications each.
+ */
+
+#ifndef DBPSIM_TRACE_MIX_HH
+#define DBPSIM_TRACE_MIX_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/source.hh"
+
+namespace dbpsim {
+
+/**
+ * A named list of application profiles, one per core.
+ */
+struct WorkloadMix
+{
+    std::string name;
+    std::vector<std::string> apps;
+
+    /** Fraction of apps classified memory-intensive. */
+    double intensiveFraction() const;
+};
+
+/** The twelve standard eight-app mixes. */
+const std::vector<WorkloadMix> &standardMixes();
+
+/** Look up a standard mix by name; fatal() if unknown. */
+const WorkloadMix &mixByName(const std::string &name);
+
+/**
+ * Adapt a mix to @p cores applications: truncates when cores is
+ * smaller, repeats the app list round-robin when larger.
+ */
+WorkloadMix scaleMix(const WorkloadMix &mix, unsigned cores);
+
+/**
+ * Instantiate one TraceSource per app in the mix. Seeds derive from
+ * @p seed_base and the core index, so two instances of the same
+ * profile in one mix produce distinct (but reproducible) streams.
+ */
+std::vector<std::unique_ptr<TraceSource>>
+buildMixSources(const WorkloadMix &mix, std::uint64_t seed_base);
+
+} // namespace dbpsim
+
+#endif // DBPSIM_TRACE_MIX_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The unit of work a core consumes: a run of non-memory instructions
+ * followed by one memory access. This is the standard "filtered trace"
+ * representation used by memory-scheduling studies: the stream already
+ * reflects post-cache (DRAM-bound) accesses.
+ */
+
+#ifndef DBPSIM_TRACE_RECORD_HH
+#define DBPSIM_TRACE_RECORD_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace dbpsim {
+
+/**
+ * One trace record.
+ */
+struct TraceRecord
+{
+    /** Non-memory instructions retired before the access. */
+    std::uint32_t gap = 0;
+
+    /** Line-aligned virtual address of the access. */
+    Addr vaddr = 0;
+
+    /** True for a store, false for a load. */
+    bool write = false;
+
+    bool operator==(const TraceRecord &o) const = default;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_TRACE_RECORD_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Abstract producer of trace records. Synthetic generators are
+ * infinite; file-backed sources can wrap around to emulate steady
+ * state.
+ */
+
+#ifndef DBPSIM_TRACE_SOURCE_HH
+#define DBPSIM_TRACE_SOURCE_HH
+
+#include <string>
+
+#include "trace/record.hh"
+
+namespace dbpsim {
+
+/**
+ * Interface for anything a core can fetch trace records from.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next record. Sources never run dry (they wrap). */
+    virtual TraceRecord next() = 0;
+
+    /** Rewind to the initial state (deterministic replays). */
+    virtual void reset() = 0;
+
+    /** Human-readable name (profile or file name). */
+    virtual std::string name() const = 0;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_TRACE_SOURCE_HH

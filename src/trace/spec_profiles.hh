@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A library of named synthetic application profiles calibrated to the
+ * published memory characteristics (MPKI, row-buffer locality,
+ * bank-level parallelism, footprint, write ratio) of the SPEC CPU2006
+ * benchmarks used by the DBP / TCM / MCP papers. See DESIGN.md for the
+ * substitution rationale: DBP's decisions depend only on these stream
+ * statistics, which the generators reproduce.
+ */
+
+#ifndef DBPSIM_TRACE_SPEC_PROFILES_HH
+#define DBPSIM_TRACE_SPEC_PROFILES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hh"
+
+namespace dbpsim {
+
+/**
+ * One named profile plus its headline characteristics.
+ */
+struct SpecProfileInfo
+{
+    std::string name;        ///< benchmark-like name (e.g. "mcf").
+    std::string description; ///< one-line behavioural summary.
+    SyntheticParams params;  ///< generator parameterization.
+    bool intensive = false;  ///< memory-intensive (MPKI >= 1) class.
+};
+
+/** All profiles, in a stable order. */
+const std::vector<SpecProfileInfo> &specProfiles();
+
+/** Look up one profile by name; fatal() if unknown. */
+const SpecProfileInfo &specProfile(const std::string &name);
+
+/** True iff a profile with this name exists. */
+bool hasSpecProfile(const std::string &name);
+
+/**
+ * Instantiate a generator for profile @p name with the given seed
+ * (seeds differentiate multiple instances of the same profile).
+ */
+std::unique_ptr<TraceSource> makeSpecSource(const std::string &name,
+                                            std::uint64_t seed);
+
+} // namespace dbpsim
+
+#endif // DBPSIM_TRACE_SPEC_PROFILES_HH

@@ -1,0 +1,124 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+SyntheticSource::SyntheticSource(SyntheticParams params)
+    : params_(std::move(params)), rng_(params_.seed)
+{
+    if (params_.phases.empty())
+        fatal("synthetic source '", params_.name, "' has no phases");
+    for (const auto &p : params_.phases) {
+        if (p.mpki <= 0.0)
+            fatal(params_.name, ": mpki must be > 0 (got ", p.mpki, ")");
+        if (p.streams == 0)
+            fatal(params_.name, ": streams must be >= 1");
+        if (p.seqRunLines < 1.0)
+            fatal(params_.name, ": seqRunLines must be >= 1");
+        if (p.randomFrac < 0.0 || p.randomFrac > 1.0)
+            fatal(params_.name, ": randomFrac out of [0,1]");
+        if (p.writeFrac < 0.0 || p.writeFrac > 1.0)
+            fatal(params_.name, ": writeFrac out of [0,1]");
+        if (p.footprintPages == 0)
+            fatal(params_.name, ": footprintPages must be >= 1");
+    }
+    reset();
+}
+
+void
+SyntheticSource::reset()
+{
+    rng_ = Rng(params_.seed);
+    instrRetired_ = 0;
+    enterPhase(0);
+}
+
+void
+SyntheticSource::enterPhase(std::size_t idx)
+{
+    phaseIdx_ = idx;
+    const SyntheticPhase &p = phase();
+    phaseInstrLeft_ = p.durationKiloInst * 1000;
+
+    cursors_.resize(p.streams);
+    // Spread cursors over disjoint regions of the footprint so streams
+    // start in different pages (and therefore different banks).
+    std::uint64_t lines = p.footprintPages *
+        (kTracePageBytes / kTraceLineBytes);
+    for (unsigned s = 0; s < p.streams; ++s) {
+        std::uint64_t region = lines / p.streams;
+        std::uint64_t base = region * s;
+        std::uint64_t off = region == 0 ? 0 : rng_.nextBelow(region);
+        cursors_[s] = (base + off) * kTraceLineBytes;
+    }
+    nextStream_ = 0;
+}
+
+Addr
+SyntheticSource::randomLine()
+{
+    std::uint64_t lines = phase().footprintPages *
+        (kTracePageBytes / kTraceLineBytes);
+    return rng_.nextBelow(lines) * kTraceLineBytes;
+}
+
+TraceRecord
+SyntheticSource::next()
+{
+    const SyntheticPhase &p = phase();
+
+    // Gap: geometric with mean (1000/mpki - 1) non-memory instructions
+    // per access, so total instructions per access averages 1000/mpki.
+    double per_access = 1000.0 / p.mpki;
+    double mean_gap = std::max(0.0, per_access - 1.0);
+    std::uint32_t gap = 0;
+    if (mean_gap > 0.0) {
+        double success = 1.0 / (mean_gap + 1.0);
+        gap = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(rng_.nextGeometric(success), 100000));
+    }
+
+    TraceRecord rec;
+    rec.gap = gap;
+    rec.write = rng_.nextBool(p.writeFrac);
+
+    if (rng_.nextBool(p.randomFrac)) {
+        rec.vaddr = randomLine();
+    } else {
+        // Round-robin across sequential streams.
+        std::size_t s = nextStream_;
+        nextStream_ = (nextStream_ + 1) % cursors_.size();
+
+        // With probability 1/seqRunLines the stream relocates before
+        // the access, ending its sequential run.
+        if (rng_.nextBool(1.0 / p.seqRunLines))
+            cursors_[s] = randomLine();
+
+        rec.vaddr = cursors_[s];
+        std::uint64_t lines = p.footprintPages *
+            (kTracePageBytes / kTraceLineBytes);
+        std::uint64_t line = cursors_[s] / kTraceLineBytes + 1;
+        if (line >= lines)
+            line = 0;
+        cursors_[s] = line * kTraceLineBytes;
+    }
+
+    // Phase accounting (gap + 1 instructions retired by this record).
+    std::uint64_t consumed = static_cast<std::uint64_t>(gap) + 1;
+    instrRetired_ += consumed;
+    if (phaseInstrLeft_ > 0) {
+        if (consumed >= phaseInstrLeft_) {
+            std::size_t nxt = (phaseIdx_ + 1) % params_.phases.size();
+            enterPhase(nxt);
+        } else {
+            phaseInstrLeft_ -= consumed;
+        }
+    }
+    return rec;
+}
+
+} // namespace dbpsim

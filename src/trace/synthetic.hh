@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Synthetic memory-trace generator.
+ *
+ * Generates an infinite stream of TraceRecords whose aggregate
+ * statistics — memory intensity (MPKI), row-buffer locality, bank-level
+ * parallelism and footprint — are dialed in by a small parameter set.
+ * This is the substitution for SPEC CPU2006 traces (see DESIGN.md):
+ * Dynamic Bank Partitioning's decisions depend only on exactly these
+ * stream statistics.
+ *
+ * Mechanics: the generator maintains `streams` concurrent sequential
+ * cursors over the virtual footprint. Each access picks the next
+ * cursor round-robin (interleaving streams is what creates BLP once
+ * requests queue up in the memory system) and either continues the
+ * cursor's sequential run or — with probability 1/seqRunLines — jumps
+ * the cursor to a random page. Additionally a `randomFrac` fraction of
+ * accesses touch a uniformly random line (row-buffer hostile).
+ * Instruction gaps between accesses are geometric with mean set by
+ * MPKI. Multi-phase parameter sets model program phase behaviour.
+ */
+
+#ifndef DBPSIM_TRACE_SYNTHETIC_HH
+#define DBPSIM_TRACE_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "trace/source.hh"
+
+namespace dbpsim {
+
+/**
+ * Parameters of one behaviour phase.
+ */
+struct SyntheticPhase
+{
+    /** DRAM accesses per kilo-instruction. */
+    double mpki = 10.0;
+
+    /** Concurrent sequential streams (bank-level-parallelism knob). */
+    unsigned streams = 2;
+
+    /** Mean sequential run length in lines before a stream jumps. */
+    double seqRunLines = 32.0;
+
+    /** Fraction of accesses that are uniformly random lines. */
+    double randomFrac = 0.0;
+
+    /** Fraction of accesses that are stores. */
+    double writeFrac = 0.25;
+
+    /** Virtual footprint in OS pages. */
+    std::uint64_t footprintPages = 16384;
+
+    /** Phase length in kilo-instructions (0 = runs forever). */
+    std::uint64_t durationKiloInst = 0;
+};
+
+/**
+ * Full generator parameterization: one or more phases, looped.
+ */
+struct SyntheticParams
+{
+    std::string name = "synthetic";
+    std::vector<SyntheticPhase> phases{SyntheticPhase{}};
+    std::uint64_t seed = 1;
+};
+
+/**
+ * The generator itself.
+ */
+class SyntheticSource : public TraceSource
+{
+  public:
+    /** @param params Validated on construction (fatal on nonsense). */
+    explicit SyntheticSource(SyntheticParams params);
+
+    TraceRecord next() override;
+    void reset() override;
+    std::string name() const override { return params_.name; }
+
+    /** Parameters in use (for reporting). */
+    const SyntheticParams &params() const { return params_; }
+
+  private:
+    /** Switch stream cursors / RNG to phase @p idx. */
+    void enterPhase(std::size_t idx);
+
+    /** Current phase parameters. */
+    const SyntheticPhase &phase() const { return params_.phases[phaseIdx_]; }
+
+    /** Random line-aligned vaddr within the current footprint. */
+    Addr randomLine();
+
+    SyntheticParams params_;
+    Rng rng_;
+
+    std::size_t phaseIdx_ = 0;
+    std::uint64_t phaseInstrLeft_ = 0; ///< instructions left in phase.
+    std::uint64_t instrRetired_ = 0;
+
+    /** Per-stream sequential cursors (line-aligned vaddrs). */
+    std::vector<Addr> cursors_;
+    std::size_t nextStream_ = 0;
+};
+
+/** Line size assumed by the generators (matches DramGeometry default). */
+constexpr std::uint64_t kTraceLineBytes = 64;
+
+/** OS page size assumed by the generators. */
+constexpr std::uint64_t kTracePageBytes = 4096;
+
+} // namespace dbpsim
+
+#endif // DBPSIM_TRACE_SYNTHETIC_HH

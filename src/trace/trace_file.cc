@@ -1,0 +1,116 @@
+#include "trace/trace_file.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+namespace {
+constexpr const char *kHeader = "# dbpsim-trace v1";
+} // namespace
+
+void
+writeTraceFile(const std::string &path,
+               const std::vector<TraceRecord> &records)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '", path, "' for writing");
+    out << kHeader << '\n';
+    for (const auto &r : records) {
+        out << r.gap << " 0x" << std::hex << r.vaddr << std::dec << ' '
+            << (r.write ? 'W' : 'R') << '\n';
+    }
+    if (!out)
+        fatal("I/O error while writing '", path, "'");
+}
+
+std::vector<TraceRecord>
+captureRecords(TraceSource &source, std::size_t count)
+{
+    std::vector<TraceRecord> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(source.next());
+    return out;
+}
+
+std::vector<TraceRecord>
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '", path, "'");
+
+    std::string line;
+    if (!std::getline(in, line) || line != kHeader)
+        fatal("'", path, "': missing dbpsim-trace v1 header");
+
+    std::vector<TraceRecord> records;
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream is(line);
+        TraceRecord r;
+        std::string addr_tok, rw_tok;
+        if (!(is >> r.gap >> addr_tok >> rw_tok))
+            fatal("'", path, "' line ", line_no, ": malformed record");
+        errno = 0;
+        char *end = nullptr;
+        r.vaddr = std::strtoull(addr_tok.c_str(), &end, 0);
+        if (errno != 0 || end == addr_tok.c_str() || *end != '\0')
+            fatal("'", path, "' line ", line_no, ": bad address '",
+                  addr_tok, "'");
+        if (rw_tok == "W" || rw_tok == "w")
+            r.write = true;
+        else if (rw_tok == "R" || rw_tok == "r")
+            r.write = false;
+        else
+            fatal("'", path, "' line ", line_no, ": bad R/W flag '",
+                  rw_tok, "'");
+        records.push_back(r);
+    }
+    if (records.empty())
+        fatal("'", path, "': trace contains no records");
+    return records;
+}
+
+TraceFileSource::TraceFileSource(std::string name,
+                                 std::vector<TraceRecord> records)
+    : name_(std::move(name)), records_(std::move(records))
+{
+    if (records_.empty())
+        fatal("trace source '", name_, "' has no records");
+}
+
+TraceFileSource
+TraceFileSource::fromFile(const std::string &path)
+{
+    return TraceFileSource(path, readTraceFile(path));
+}
+
+TraceRecord
+TraceFileSource::next()
+{
+    TraceRecord r = records_[pos_];
+    if (++pos_ == records_.size()) {
+        pos_ = 0;
+        ++wraps_;
+    }
+    return r;
+}
+
+void
+TraceFileSource::reset()
+{
+    pos_ = 0;
+    wraps_ = 0;
+}
+
+} // namespace dbpsim

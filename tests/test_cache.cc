@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Set-associative cache tests: hit/miss behaviour, LRU replacement
+ * order, dirty-victim writebacks, and parameter validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace dbpsim {
+namespace {
+
+CacheParams
+tiny()
+{
+    CacheParams p;
+    p.sizeBytes = 4096; // 64 lines.
+    p.associativity = 4;
+    p.lineBytes = 64;   // => 16 sets.
+    return p;
+}
+
+/** Address falling in set @p set with tag @p tag. */
+Addr
+addrFor(const SetAssocCache &c, std::uint64_t set, std::uint64_t tag)
+{
+    return (tag * c.numSets() + set) * c.params().lineBytes;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    SetAssocCache c(tiny());
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1020, false).hit); // same line.
+    EXPECT_EQ(c.statMisses.value(), 1u);
+    EXPECT_EQ(c.statHits.value(), 2u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    SetAssocCache c(tiny());
+    // Fill one set's 4 ways.
+    for (std::uint64_t tag = 0; tag < 4; ++tag)
+        c.access(addrFor(c, 3, tag), false);
+    // Touch tag 0 so tag 1 becomes LRU.
+    c.access(addrFor(c, 3, 0), false);
+    // New tag evicts tag 1.
+    c.access(addrFor(c, 3, 99), false);
+    EXPECT_TRUE(c.contains(addrFor(c, 3, 0)));
+    EXPECT_FALSE(c.contains(addrFor(c, 3, 1)));
+    EXPECT_TRUE(c.contains(addrFor(c, 3, 2)));
+    EXPECT_TRUE(c.contains(addrFor(c, 3, 99)));
+}
+
+TEST(Cache, DirtyVictimProducesWriteback)
+{
+    SetAssocCache c(tiny());
+    Addr victim = addrFor(c, 7, 0);
+    c.access(victim, true); // dirty.
+    for (std::uint64_t tag = 1; tag < 4; ++tag)
+        c.access(addrFor(c, 7, tag), false);
+    CacheAccessResult res = c.access(addrFor(c, 7, 50), false);
+    EXPECT_FALSE(res.hit);
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(res.writebackAddr, victim);
+    EXPECT_EQ(c.statWritebacks.value(), 1u);
+}
+
+TEST(Cache, CleanVictimNoWriteback)
+{
+    SetAssocCache c(tiny());
+    for (std::uint64_t tag = 0; tag < 4; ++tag)
+        c.access(addrFor(c, 7, tag), false);
+    CacheAccessResult res = c.access(addrFor(c, 7, 50), false);
+    EXPECT_TRUE(res.hit == false && res.writeback == false);
+    EXPECT_EQ(c.statEvictions.value(), 1u);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    SetAssocCache c(tiny());
+    Addr a = addrFor(c, 2, 0);
+    c.access(a, false); // clean install.
+    c.access(a, true);  // dirty via hit.
+    for (std::uint64_t tag = 1; tag < 4; ++tag)
+        c.access(addrFor(c, 2, tag), false);
+    CacheAccessResult res = c.access(addrFor(c, 2, 9), false);
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(res.writebackAddr, a);
+}
+
+TEST(Cache, FlushDropsEverything)
+{
+    SetAssocCache c(tiny());
+    c.access(0x40, true);
+    EXPECT_TRUE(c.contains(0x40));
+    c.flush();
+    EXPECT_FALSE(c.contains(0x40));
+}
+
+TEST(Cache, HitRate)
+{
+    SetAssocCache c(tiny());
+    EXPECT_DOUBLE_EQ(c.hitRate(), 0.0);
+    c.access(0x0, false);
+    c.access(0x0, false);
+    c.access(0x0, false);
+    c.access(0x40000, false);
+    EXPECT_DOUBLE_EQ(c.hitRate(), 0.5);
+}
+
+TEST(Cache, RejectsBadParams)
+{
+    CacheParams p = tiny();
+    p.lineBytes = 48;
+    EXPECT_DEATH({ SetAssocCache c(p); }, "power of two");
+
+    p = tiny();
+    p.associativity = 0;
+    EXPECT_DEATH({ SetAssocCache c(p); }, "assoc");
+}
+
+TEST(Cache, LargeConfigWorks)
+{
+    CacheParams p;
+    p.sizeBytes = 512 * 1024;
+    p.associativity = 8;
+    p.lineBytes = 64;
+    SetAssocCache c(p);
+    EXPECT_EQ(c.numSets(), 1024u);
+    for (Addr a = 0; a < 1024 * 1024; a += 64)
+        c.access(a, false);
+    EXPECT_EQ(c.statMisses.value(), 16384u);
+    EXPECT_EQ(c.statEvictions.value(), 8192u);
+}
+
+} // namespace
+} // namespace dbpsim

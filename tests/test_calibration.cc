@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Calibration property sweeps: every profile in the SPEC-like library
+ * must actually generate a stream with its declared statistics (MPKI,
+ * write fraction, footprint bound, locality class), across seeds.
+ * These tests pin the workload substitution's fidelity (DESIGN.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic.hh"
+
+namespace dbpsim {
+namespace {
+
+struct Measured
+{
+    double mpki = 0.0;
+    double writeFrac = 0.0;
+    double seqFrac = 0.0;
+    std::uint64_t pages = 0;
+};
+
+Measured
+measure(TraceSource &src, int accesses)
+{
+    Measured m;
+    std::uint64_t instrs = 0, writes = 0, seq = 0;
+    std::set<std::uint64_t> pages;
+    // Multi-stream apps interleave several sequential cursors, so a
+    // "sequential step" continues ANY of the recent addresses.
+    std::deque<Addr> recent;
+    for (int i = 0; i < accesses; ++i) {
+        TraceRecord r = src.next();
+        instrs += r.gap + 1;
+        writes += r.write ? 1 : 0;
+        pages.insert(r.vaddr / kTracePageBytes);
+        for (Addr p : recent) {
+            if (r.vaddr == p + kTraceLineBytes) {
+                ++seq;
+                break;
+            }
+        }
+        recent.push_back(r.vaddr);
+        if (recent.size() > 8)
+            recent.pop_front();
+    }
+    double n = accesses;
+    m.mpki = 1000.0 * n / static_cast<double>(instrs);
+    m.writeFrac = writes / n;
+    m.seqFrac = seq / n;
+    m.pages = pages.size();
+    return m;
+}
+
+class ProfileCalibration
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ProfileCalibration, MpkiMatchesDeclared)
+{
+    const SpecProfileInfo &info = specProfile(GetParam());
+    auto src = makeSpecSource(info.name, 11);
+    Measured m = measure(*src, 20000);
+    double declared = info.params.phases.front().mpki;
+    EXPECT_NEAR(m.mpki, declared, declared * 0.1 + 0.05)
+        << info.name << " generated MPKI " << m.mpki;
+}
+
+TEST_P(ProfileCalibration, WriteFractionMatchesDeclared)
+{
+    const SpecProfileInfo &info = specProfile(GetParam());
+    auto src = makeSpecSource(info.name, 12);
+    Measured m = measure(*src, 20000);
+    EXPECT_NEAR(m.writeFrac, info.params.phases.front().writeFrac,
+                0.03)
+        << info.name;
+}
+
+TEST_P(ProfileCalibration, FootprintWithinDeclared)
+{
+    const SpecProfileInfo &info = specProfile(GetParam());
+    auto src = makeSpecSource(info.name, 13);
+    Measured m = measure(*src, 20000);
+    // Never exceeds the declared footprint in any phase.
+    std::uint64_t max_pages = 0;
+    for (const auto &ph : info.params.phases)
+        max_pages = std::max(max_pages, ph.footprintPages);
+    EXPECT_LE(m.pages, max_pages) << info.name;
+}
+
+TEST_P(ProfileCalibration, SeedsChangeStreamNotStatistics)
+{
+    const SpecProfileInfo &info = specProfile(GetParam());
+    auto a = makeSpecSource(info.name, 100);
+    auto b = makeSpecSource(info.name, 200);
+    Measured ma = measure(*a, 15000);
+    Measured mb = measure(*b, 15000);
+    // Statistics agree across seeds...
+    EXPECT_NEAR(ma.mpki, mb.mpki, ma.mpki * 0.1 + 0.05) << info.name;
+    EXPECT_NEAR(ma.writeFrac, mb.writeFrac, 0.04) << info.name;
+    // ...while the concrete streams differ.
+    auto a2 = makeSpecSource(info.name, 100);
+    auto b2 = makeSpecSource(info.name, 200);
+    bool differ = false;
+    for (int i = 0; i < 100; ++i)
+        differ = differ || !(a2->next() == b2->next());
+    EXPECT_TRUE(differ) << info.name;
+}
+
+std::vector<std::string>
+allProfileNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : specProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileCalibration,
+                         ::testing::ValuesIn(allProfileNames()));
+
+TEST(ProfileClasses, LocalityClassesSeparate)
+{
+    // The streaming archetypes must generate far more sequential steps
+    // than the irregular archetypes.
+    auto seq_frac = [](const std::string &name) {
+        auto src = makeSpecSource(name, 5);
+        return measure(*src, 15000).seqFrac;
+    };
+    EXPECT_GT(seq_frac("libquantum"), 0.9);
+    EXPECT_GT(seq_frac("bwaves"), 0.8);
+    EXPECT_LT(seq_frac("mcf"), 0.3);
+    EXPECT_LT(seq_frac("omnetpp"), 0.4);
+    EXPECT_GT(seq_frac("libquantum"), seq_frac("mcf") + 0.5);
+}
+
+TEST(ProfileClasses, IntensityClassesSeparate)
+{
+    auto mpki_of = [](const std::string &name) {
+        auto src = makeSpecSource(name, 5);
+        return measure(*src, 5000).mpki;
+    };
+    for (const auto &p : specProfiles()) {
+        double m = mpki_of(p.name);
+        if (p.intensive)
+            EXPECT_GE(m, 0.9) << p.name;
+        else
+            EXPECT_LT(m, 1.1) << p.name;
+    }
+}
+
+} // namespace
+} // namespace dbpsim

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * DRAM device tests: timing presets, the bank/rank/channel FSM's
+ * enforcement of every DDR constraint (tRCD, tRP, tRC, tRAS, tCCD,
+ * tRRD, tFAW, tWTR, bus occupancy, refresh), and the migration-cost
+ * bank blocking used by the partition manager.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/channel.hh"
+#include "dram/energy.hh"
+#include "dram/timing.hh"
+
+namespace dbpsim {
+namespace {
+
+DramGeometry
+geo()
+{
+    DramGeometry g;
+    g.channels = 1;
+    g.ranksPerChannel = 2;
+    g.banksPerRank = 8;
+    g.rowsPerBank = 1024;
+    g.rowBytes = 8192;
+    g.lineBytes = 64;
+    g.pageBytes = 4096;
+    return g;
+}
+
+/** A channel far from its first refresh deadline. */
+DramChannel
+freshChannel(const DramTiming &t)
+{
+    return DramChannel(geo(), t, 0);
+}
+
+class TimingPresets : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TimingPresets, Validate)
+{
+    DramTiming t = dramTimingByName(GetParam());
+    EXPECT_TRUE(t.validate().empty()) << t.validate();
+    EXPECT_GE(t.tRC, t.tRAS + t.tRP);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, TimingPresets,
+                         ::testing::Values("ddr3-1600", "ddr3-1333",
+                                           "ddr3-1066"));
+
+TEST(Timing, InvalidRelationsDetected)
+{
+    DramTiming t = ddr3_1600();
+    t.tRC = 1; // < tRAS + tRP.
+    EXPECT_FALSE(t.validate().empty());
+
+    t = ddr3_1600();
+    t.tREFI = t.tRFC; // refresh cannot keep up.
+    EXPECT_FALSE(t.validate().empty());
+}
+
+TEST(Channel, ActivateThenReadHonorsTrcd)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+
+    ASSERT_TRUE(ch.canIssue(DramCmd::Activate, 0, 0, 5, 10));
+    ch.issue(DramCmd::Activate, 0, 0, 5, 10);
+
+    // Reads illegal until tRCD elapses.
+    EXPECT_FALSE(ch.canIssue(DramCmd::Read, 0, 0, 5, 10));
+    EXPECT_FALSE(ch.canIssue(DramCmd::Read, 0, 0, 5, 10 + t.tRCD - 1));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Read, 0, 0, 5, 10 + t.tRCD));
+
+    // Wrong row is never readable.
+    EXPECT_FALSE(ch.canIssue(DramCmd::Read, 0, 0, 6, 10 + t.tRCD));
+}
+
+TEST(Channel, ReadReturnsDataAfterClPlusBurst)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    ch.issue(DramCmd::Activate, 0, 0, 5, 0);
+    Cycle rd_at = t.tRCD;
+    Cycle done = ch.issue(DramCmd::Read, 0, 0, 5, rd_at);
+    EXPECT_EQ(done, rd_at + t.tCL + t.tBURST);
+}
+
+TEST(Channel, PrechargeHonorsTrasAndTrp)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    ch.issue(DramCmd::Activate, 0, 0, 5, 0);
+
+    EXPECT_FALSE(ch.canIssue(DramCmd::Precharge, 0, 0, 0, t.tRAS - 1));
+    ASSERT_TRUE(ch.canIssue(DramCmd::Precharge, 0, 0, 0, t.tRAS));
+    ch.issue(DramCmd::Precharge, 0, 0, 0, t.tRAS);
+
+    // Re-activate only after tRP (and tRC from the first ACT).
+    Cycle earliest = std::max(t.tRAS + t.tRP, t.tRC);
+    EXPECT_FALSE(ch.canIssue(DramCmd::Activate, 0, 0, 7, earliest - 1));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 0, 0, 7, earliest));
+}
+
+TEST(Channel, ActivateToActivateSameBankHonorsTrc)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    ch.issue(DramCmd::Activate, 0, 0, 5, 0);
+    ch.issue(DramCmd::Precharge, 0, 0, 0, t.tRAS);
+    // tRP elapsed but tRC might not have: with tRC=39 > tRAS+tRP=39,
+    // equality holds for this preset; use a stretched tRC to expose.
+    DramTiming t2 = t;
+    t2.tRC = t.tRAS + t.tRP + 10;
+    DramChannel ch2 = freshChannel(t2);
+    ch2.issue(DramCmd::Activate, 0, 0, 5, 0);
+    ch2.issue(DramCmd::Precharge, 0, 0, 0, t2.tRAS);
+    Cycle after_rp = t2.tRAS + t2.tRP;
+    EXPECT_FALSE(ch2.canIssue(DramCmd::Activate, 0, 0, 6, after_rp));
+    EXPECT_TRUE(ch2.canIssue(DramCmd::Activate, 0, 0, 6, t2.tRC));
+}
+
+TEST(Channel, RrdBetweenBanksOfARank)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    ch.issue(DramCmd::Activate, 0, 0, 5, 0);
+    EXPECT_FALSE(ch.canIssue(DramCmd::Activate, 0, 1, 5, t.tRRD - 1));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 0, 1, 5, t.tRRD));
+
+    // A different rank is not constrained by this rank's tRRD.
+    EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 1, 0, 5, 1));
+}
+
+TEST(Channel, FawLimitsFourActivatesPerRank)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+
+    Cycle now = 0;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(ch.canIssue(DramCmd::Activate, 0, i, 3, now));
+        ch.issue(DramCmd::Activate, 0, static_cast<unsigned>(i), 3, now);
+        now += t.tRRD;
+    }
+    // Fifth ACT must wait until tFAW after the first.
+    EXPECT_FALSE(ch.canIssue(DramCmd::Activate, 0, 4, 3, now));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 0, 4, 3, t.tFAW));
+}
+
+TEST(Channel, CcdBetweenColumnCommands)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    ch.issue(DramCmd::Activate, 0, 0, 5, 0);
+    ch.issue(DramCmd::Activate, 0, 1, 9, t.tRRD);
+
+    // Past both banks' tRCD so only tCCD separates the two reads.
+    Cycle rd1 = t.tRRD + t.tRCD;
+    ch.issue(DramCmd::Read, 0, 0, 5, rd1);
+    EXPECT_FALSE(ch.canIssue(DramCmd::Read, 0, 1, 9, rd1 + t.tCCD - 1));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Read, 0, 1, 9, rd1 + t.tCCD));
+}
+
+TEST(Channel, WriteToReadTurnaroundSameRank)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    ch.issue(DramCmd::Activate, 0, 0, 5, 0);
+
+    Cycle wr_at = t.tRCD;
+    Cycle wr_done = ch.issue(DramCmd::Write, 0, 0, 5, wr_at);
+    EXPECT_EQ(wr_done, wr_at + t.tCWL + t.tBURST);
+
+    // Same-rank read blocked until tWTR after write data ends.
+    EXPECT_FALSE(ch.canIssue(DramCmd::Read, 0, 0, 5,
+                             wr_done + t.tWTR - 1));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Read, 0, 0, 5, wr_done + t.tWTR));
+}
+
+TEST(Channel, WriteRecoveryBeforePrecharge)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    ch.issue(DramCmd::Activate, 0, 0, 5, 0);
+    Cycle wr_at = std::max(t.tRCD, t.tRAS); // past tRAS too.
+    Cycle wr_done = ch.issue(DramCmd::Write, 0, 0, 5, wr_at);
+
+    EXPECT_FALSE(ch.canIssue(DramCmd::Precharge, 0, 0, 0,
+                             wr_done + t.tWR - 1));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Precharge, 0, 0, 0,
+                            wr_done + t.tWR));
+}
+
+TEST(Channel, ReadWithAutoPrechargeClosesRow)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    ch.issue(DramCmd::Activate, 0, 0, 5, 0);
+    Cycle rd_at = std::max(t.tRCD, t.tRAS);
+    ch.issue(DramCmd::ReadAp, 0, 0, 5, rd_at);
+    EXPECT_FALSE(ch.bank(0, 0).open);
+    // Next ACT waits for tRTP + tRP after the RDA.
+    EXPECT_FALSE(ch.canIssue(DramCmd::Activate, 0, 0, 6,
+                             rd_at + t.tRTP + t.tRP - 1));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 0, 0, 6,
+                            rd_at + t.tRTP + t.tRP));
+}
+
+TEST(Channel, RefreshRequiresAllBanksClosed)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    ch.issue(DramCmd::Activate, 0, 3, 5, 0);
+    EXPECT_FALSE(ch.canIssue(DramCmd::Refresh, 0, 0, 0, t.tRAS + 1));
+    ch.issue(DramCmd::Precharge, 0, 3, 0, t.tRAS);
+    Cycle ready = t.tRAS + t.tRP;
+    EXPECT_TRUE(ch.canIssue(DramCmd::Refresh, 0, 0, 0, ready));
+
+    ch.issue(DramCmd::Refresh, 0, 0, 0, ready);
+    // The rank accepts nothing until tRFC passes.
+    EXPECT_FALSE(ch.canIssue(DramCmd::Activate, 0, 0, 1,
+                             ready + t.tRFC - 1));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 0, 0, 1, ready + t.tRFC));
+}
+
+TEST(Channel, RefreshPendingTracksDeadline)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    // Rank deadlines are staggered; rank 1 of 2 is due at tREFI.
+    EXPECT_FALSE(ch.refreshPending(1, 0));
+    EXPECT_TRUE(ch.refreshPending(1, t.tREFI));
+    ch.issue(DramCmd::Refresh, 1, 0, 0, t.tREFI);
+    EXPECT_FALSE(ch.refreshPending(1, t.tREFI + 1));
+}
+
+TEST(Channel, BlockBankDelaysAllCommands)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    ch.blockBank(0, 2, 100, 500);
+    EXPECT_FALSE(ch.canIssue(DramCmd::Activate, 0, 2, 1, 599));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 0, 2, 1, 600));
+    // Other banks unaffected.
+    EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 0, 3, 1, 100));
+}
+
+TEST(Channel, CommandCountsAccumulate)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    ch.issue(DramCmd::Activate, 0, 0, 5, 0);
+    ch.issue(DramCmd::Read, 0, 0, 5, t.tRCD);
+    ch.issue(DramCmd::Read, 0, 0, 5, t.tRCD + t.tCCD);
+    EXPECT_EQ(ch.statActs.value(), 1u);
+    EXPECT_EQ(ch.statReads.value(), 2u);
+    EXPECT_EQ(ch.statWrites.value(), 0u);
+}
+
+TEST(Energy, BreakdownScalesWithActivity)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    DramEnergyBreakdown idle = dramEnergy(ch, 1'000'000);
+    EXPECT_GT(idle.backgroundNj, 0.0);
+    EXPECT_DOUBLE_EQ(idle.readNj, 0.0);
+
+    ch.issue(DramCmd::Activate, 0, 0, 5, 0);
+    ch.issue(DramCmd::Read, 0, 0, 5, t.tRCD);
+    DramEnergyBreakdown busy = dramEnergy(ch, 1'000'000);
+    EXPECT_GT(busy.readNj, 0.0);
+    EXPECT_GT(busy.actPreNj, 0.0);
+    EXPECT_GT(busy.totalNj(), idle.totalNj());
+}
+
+TEST(Channel, CmdNamesPrintable)
+{
+    EXPECT_STREQ(dramCmdName(DramCmd::Activate), "ACT");
+    EXPECT_STREQ(dramCmdName(DramCmd::Refresh), "REF");
+}
+
+} // namespace
+} // namespace dbpsim

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the extension mechanisms beyond the paper's evaluated set:
+ * the BLISS blacklisting scheduler and the combined DBP-MCP
+ * channel+bank partitioning policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/channel.hh"
+#include "mem/sched_bliss.hh"
+#include "mem/sched_factory.hh"
+#include "part/part_combined.hh"
+#include "part/part_factory.hh"
+#include "sim/schemes.hh"
+#include "sim/system.hh"
+#include "trace/synthetic.hh"
+
+namespace dbpsim {
+namespace {
+
+DramGeometry
+geo1()
+{
+    DramGeometry g;
+    g.channels = 1;
+    g.ranksPerChannel = 1;
+    g.banksPerRank = 8;
+    g.rowsPerBank = 256;
+    g.rowBytes = 8192;
+    g.lineBytes = 64;
+    g.pageBytes = 4096;
+    return g;
+}
+
+MemRequest
+req(ThreadId tid, unsigned bank, std::uint64_t row, Cycle enq,
+    std::uint64_t id)
+{
+    MemRequest r;
+    r.tid = tid;
+    r.coord.bank = bank;
+    r.coord.row = row;
+    r.enqueueCycle = enq;
+    r.id = id;
+    return r;
+}
+
+TEST(Bliss, StreakTriggersBlacklist)
+{
+    BlissScheduler s(2, BlissParams{3, 1000});
+    EXPECT_FALSE(s.blacklisted(0));
+    s.onDequeue(req(0, 0, 1, 0, 0));
+    s.onDequeue(req(0, 0, 1, 0, 1));
+    EXPECT_FALSE(s.blacklisted(0));
+    s.onDequeue(req(0, 0, 1, 0, 2)); // third consecutive.
+    EXPECT_TRUE(s.blacklisted(0));
+    EXPECT_FALSE(s.blacklisted(1));
+    EXPECT_EQ(s.blacklistEvents(), 1u);
+}
+
+TEST(Bliss, InterleavedServiceResetsStreak)
+{
+    BlissScheduler s(2, BlissParams{3, 1000});
+    s.onDequeue(req(0, 0, 1, 0, 0));
+    s.onDequeue(req(0, 0, 1, 0, 1));
+    s.onDequeue(req(1, 0, 1, 0, 2)); // breaks thread 0's streak.
+    s.onDequeue(req(0, 0, 1, 0, 3));
+    s.onDequeue(req(0, 0, 1, 0, 4));
+    EXPECT_FALSE(s.blacklisted(0));
+    EXPECT_FALSE(s.blacklisted(1));
+}
+
+TEST(Bliss, BlacklistClearsPeriodically)
+{
+    BlissScheduler s(2, BlissParams{2, 100});
+    s.onDequeue(req(0, 0, 1, 0, 0));
+    s.onDequeue(req(0, 0, 1, 0, 1));
+    ASSERT_TRUE(s.blacklisted(0));
+    s.tick(99);
+    EXPECT_TRUE(s.blacklisted(0));
+    s.tick(100);
+    EXPECT_FALSE(s.blacklisted(0));
+}
+
+TEST(Bliss, NonBlacklistedBeatsBlacklistedRowHit)
+{
+    DramChannel ch(geo1(), ddr3_1600(), 0);
+    ch.issue(DramCmd::Activate, 0, 0, 5, 0);
+    SchedContext ctx{ch, 100};
+
+    BlissScheduler s(2, BlissParams{2, 100000});
+    s.onDequeue(req(0, 0, 5, 0, 0));
+    s.onDequeue(req(0, 0, 5, 0, 1));
+    ASSERT_TRUE(s.blacklisted(0));
+
+    MemRequest hog_hit = req(0, 0, 5, 10, 2);   // row hit, blacklisted.
+    MemRequest other_miss = req(1, 1, 9, 50, 3); // miss, clean.
+    EXPECT_TRUE(s.higherPriority(other_miss, hog_hit, ctx));
+}
+
+TEST(Bliss, FactoryBuildsIt)
+{
+    SchedulerInit init;
+    init.numThreads = 4;
+    auto s = makeScheduler("bliss", init);
+    EXPECT_EQ(s->name(), "bliss");
+}
+
+TEST(Bliss, EndToEndShieldsLightThread)
+{
+    auto make = [](double mpki, unsigned streams, double rand,
+                   std::uint64_t pages, std::uint64_t seed) {
+        SyntheticParams sp;
+        sp.seed = seed;
+        sp.phases[0].mpki = mpki;
+        sp.phases[0].streams = streams;
+        sp.phases[0].randomFrac = rand;
+        sp.phases[0].footprintPages = pages;
+        return std::make_unique<SyntheticSource>(sp);
+    };
+    auto run_with = [&](const std::string &sched) {
+        auto light = make(0.5, 1, 0.2, 256, 1);
+        auto h1 = make(25, 4, 0.3, 8192, 2);
+        auto h2 = make(25, 4, 0.3, 8192, 3);
+        auto h3 = make(25, 4, 0.3, 8192, 4);
+        std::vector<TraceSource *> raw{light.get(), h1.get(), h2.get(),
+                                       h3.get()};
+        SystemParams params;
+        params.numCores = 4;
+        params.geometry = geo1();
+        params.geometry.rowsPerBank = 16384;
+        params.profileIntervalCpu = 200'000;
+        params.scheduler = sched;
+        System sys(params, raw);
+        sys.run(700'000);
+        return sys.threadAvgReadLatency(0);
+    };
+    EXPECT_LT(run_with("bliss"), run_with("fcfs") * 0.85);
+}
+
+ThreadMemProfile
+profile(double mpki, double rbhr, double rowpar,
+        std::uint64_t reqs = 1000)
+{
+    ThreadMemProfile p;
+    p.mpki = mpki;
+    p.rowBufferHitRate = rbhr;
+    p.rowParallelism = rowpar;
+    p.requests = reqs;
+    p.instructions = 1'000'000;
+    return p;
+}
+
+DbpParams
+fastDbp()
+{
+    DbpParams p;
+    p.cooldownIntervals = 1;
+    p.warmupIntervals = 0;
+    return p;
+}
+
+TEST(Combined, FactoryBuildsIt)
+{
+    PartitionInit init;
+    init.numThreads = 4;
+    init.geometry.channels = 2;
+    init.geometry.ranksPerChannel = 2;
+    init.geometry.banksPerRank = 8;
+    auto p = makePartitionPolicy("dbp-mcp", init);
+    EXPECT_EQ(p->name(), "dbp-mcp");
+    EXPECT_EQ(p->initialAssignment().size(), 4u);
+}
+
+TEST(Combined, SeparatesGroupsByChannelThenBank)
+{
+    CombinedPolicy policy(4, 2, 2, 8, fastDbp());
+    policy.initialAssignment();
+    // High-RBL streamer, low-RBL irregular x2, one light.
+    std::vector<ThreadMemProfile> profiles = {
+        profile(20, 0.95, 1.2, 20000),  // HiRbl group.
+        profile(18, 0.2, 6.0, 18000),   // LoRbl group.
+        profile(16, 0.25, 5.0, 16000),  // LoRbl group.
+        profile(0.3, 0.5, 1.0, 10),     // low intensity.
+    };
+    auto next = policy.onInterval(profiles);
+    ASSERT_TRUE(next.has_value());
+
+    auto channels_of = [&](unsigned t) {
+        std::set<unsigned> chans;
+        for (unsigned c : (*next)[t])
+            chans.insert(c / (2 * 8));
+        return chans;
+    };
+    // The two intensive groups live on different channels.
+    std::set<unsigned> hi = channels_of(0);
+    std::set<unsigned> lo1 = channels_of(1);
+    ASSERT_EQ(hi.size(), 1u);
+    ASSERT_EQ(lo1.size(), 1u);
+    EXPECT_NE(*hi.begin(), *lo1.begin());
+    // The two irregular threads share a channel but not banks.
+    EXPECT_EQ(channels_of(2), lo1);
+    std::set<unsigned> b1((*next)[1].begin(), (*next)[1].end());
+    for (unsigned c : (*next)[2])
+        EXPECT_FALSE(b1.count(c))
+            << "intra-group bank sharing survived";
+}
+
+TEST(Combined, LightMembersGetSharedSubSlice)
+{
+    CombinedPolicy policy(4, 2, 2, 8, fastDbp());
+    policy.initialAssignment();
+    std::vector<ThreadMemProfile> profiles = {
+        profile(20, 0.95, 1.2, 20000), // HiRbl.
+        profile(18, 0.2, 6.0, 18000),  // LoRbl.
+        profile(0.3, 0.5, 1.0, 10),    // light.
+        profile(0.2, 0.5, 1.0, 10),    // light.
+    };
+    auto next = policy.onInterval(profiles);
+    ASSERT_TRUE(next.has_value());
+    // Lights share one identical (small) set.
+    EXPECT_EQ((*next)[2], (*next)[3]);
+    EXPECT_LT((*next)[2].size(), (*next)[1].size());
+}
+
+TEST(Combined, NoChangeReturnsNullopt)
+{
+    CombinedPolicy policy(2, 2, 2, 8, fastDbp());
+    policy.initialAssignment();
+    std::vector<ThreadMemProfile> profiles = {
+        profile(20, 0.95, 1.2, 20000), profile(18, 0.2, 6.0, 18000)};
+    ASSERT_TRUE(policy.onInterval(profiles).has_value());
+    EXPECT_FALSE(policy.onInterval(profiles).has_value());
+    EXPECT_EQ(policy.repartitions(), 1u);
+}
+
+TEST(Combined, EndToEndRunsAndProgresses)
+{
+    auto make = [](double mpki, double rbhr_knob, unsigned streams,
+                   std::uint64_t seed) {
+        SyntheticParams sp;
+        sp.seed = seed;
+        sp.phases[0].mpki = mpki;
+        sp.phases[0].streams = streams;
+        sp.phases[0].seqRunLines = rbhr_knob;
+        sp.phases[0].randomFrac = rbhr_knob > 32 ? 0.02 : 0.5;
+        sp.phases[0].footprintPages = 4096;
+        return std::make_unique<SyntheticSource>(sp);
+    };
+    auto s0 = make(25, 128, 1, 1);
+    auto s1 = make(18, 2, 6, 2);
+    auto s2 = make(16, 2, 6, 3);
+    auto s3 = make(0.4, 16, 1, 4);
+    std::vector<TraceSource *> raw{s0.get(), s1.get(), s2.get(),
+                                   s3.get()};
+    SystemParams params;
+    params.numCores = 4;
+    params.geometry.rowsPerBank = 4096;
+    params.profileIntervalCpu = 200'000;
+    params.partition = "dbp-mcp";
+    System sys(params, raw);
+    auto ipc = sys.runAndMeasure(300'000, 400'000);
+    for (double v : ipc)
+        EXPECT_GT(v, 0.0);
+}
+
+TEST(Combined, SchemesResolve)
+{
+    EXPECT_EQ(schemeByName("DBP-MCP").partition, "dbp-mcp");
+    EXPECT_EQ(schemeByName("DBP-MCP-TCM").scheduler, "tcm");
+    EXPECT_EQ(schemeByName("BLISS").scheduler, "bliss");
+    EXPECT_EQ(schemeByName("DBP-BLISS").partition, "dbp");
+}
+
+} // namespace
+} // namespace dbpsim

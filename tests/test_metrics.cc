@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Metric arithmetic tests: weighted speedup, harmonic speedup, and
+ * maximum slowdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hh"
+
+namespace dbpsim {
+namespace {
+
+TEST(Metrics, IdenticalIpcsGivePerfectScores)
+{
+    SystemMetrics m = computeMetrics({1.0, 2.0}, {1.0, 2.0});
+    EXPECT_DOUBLE_EQ(m.weightedSpeedup, 2.0);
+    EXPECT_DOUBLE_EQ(m.harmonicSpeedup, 1.0);
+    EXPECT_DOUBLE_EQ(m.maxSlowdown, 1.0);
+}
+
+TEST(Metrics, HandComputedExample)
+{
+    // Thread 0 halved, thread 1 untouched.
+    SystemMetrics m = computeMetrics({2.0, 1.0}, {1.0, 1.0});
+    EXPECT_DOUBLE_EQ(m.weightedSpeedup, 0.5 + 1.0);
+    EXPECT_DOUBLE_EQ(m.maxSlowdown, 2.0);
+    EXPECT_DOUBLE_EQ(m.harmonicSpeedup, 2.0 / (2.0 + 1.0));
+    ASSERT_EQ(m.speedups.size(), 2u);
+    EXPECT_DOUBLE_EQ(m.speedups[0], 0.5);
+    EXPECT_DOUBLE_EQ(m.slowdowns[0], 2.0);
+}
+
+TEST(Metrics, MaxSlowdownPicksWorstThread)
+{
+    SystemMetrics m =
+        computeMetrics({1.0, 1.0, 1.0}, {0.9, 0.25, 0.5});
+    EXPECT_DOUBLE_EQ(m.maxSlowdown, 4.0);
+}
+
+TEST(Metrics, WeightedSpeedupBoundedByThreadCount)
+{
+    SystemMetrics m = computeMetrics({1.0, 1.0}, {0.7, 0.9});
+    EXPECT_LE(m.weightedSpeedup, 2.0);
+    EXPECT_GT(m.weightedSpeedup, 0.0);
+}
+
+TEST(Metrics, SpeedupAboveOnePossible)
+{
+    // Shared IPC can exceed alone IPC (e.g. more banks after
+    // repartitioning); the math must not clamp.
+    SystemMetrics m = computeMetrics({1.0}, {1.2});
+    EXPECT_DOUBLE_EQ(m.weightedSpeedup, 1.2);
+    EXPECT_DOUBLE_EQ(m.maxSlowdown, 1.0 / 1.2);
+}
+
+TEST(Metrics, MismatchedSizesPanic)
+{
+    EXPECT_DEATH(computeMetrics({1.0}, {1.0, 1.0}), "differ in size");
+}
+
+TEST(Metrics, ZeroIpcPanics)
+{
+    EXPECT_DEATH(computeMetrics({1.0}, {0.0}), "not positive");
+    EXPECT_DEATH(computeMetrics({0.0}, {1.0}), "not positive");
+}
+
+} // namespace
+} // namespace dbpsim

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Scheduler-policy tests: priority orders of FCFS / FR-FCFS, TCM's
+ * clustering + ranking + shuffle rotation, ATLAS's least-attained-
+ * service ranking, and PAR-BS batch formation and marking caps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/channel.hh"
+#include "mem/sched_atlas.hh"
+#include "mem/sched_factory.hh"
+#include "mem/sched_fcfs.hh"
+#include "mem/sched_frfcfs.hh"
+#include "mem/sched_parbs.hh"
+#include "mem/sched_tcm.hh"
+
+namespace dbpsim {
+namespace {
+
+DramGeometry
+geo()
+{
+    DramGeometry g;
+    g.channels = 1;
+    g.ranksPerChannel = 1;
+    g.banksPerRank = 8;
+    g.rowsPerBank = 256;
+    g.rowBytes = 8192;
+    g.lineBytes = 64;
+    g.pageBytes = 4096;
+    return g;
+}
+
+MemRequest
+req(ThreadId tid, unsigned bank, std::uint64_t row, Cycle enq,
+    std::uint64_t id)
+{
+    MemRequest r;
+    r.tid = tid;
+    r.coord.channel = 0;
+    r.coord.rank = 0;
+    r.coord.bank = bank;
+    r.coord.row = row;
+    r.enqueueCycle = enq;
+    r.id = id;
+    return r;
+}
+
+ThreadMemProfile
+profile(double mpki, double rbhr, double blp, std::uint64_t reqs)
+{
+    ThreadMemProfile p;
+    p.mpki = mpki;
+    p.rowBufferHitRate = rbhr;
+    p.blp = blp;
+    p.requests = reqs;
+    p.instructions = 1'000'000;
+    return p;
+}
+
+class SchedFixture : public ::testing::Test
+{
+  protected:
+    SchedFixture() : channel_(geo(), ddr3_1600(), 0) {}
+
+    /** Open @p row in @p bank so rowHit() sees it. */
+    void
+    openRow(unsigned bank, std::uint64_t row)
+    {
+        channel_.issue(DramCmd::Activate, 0, bank, row, now_);
+        now_ += ddr3_1600().tRRD;
+    }
+
+    SchedContext
+    ctx()
+    {
+        return SchedContext{channel_, now_};
+    }
+
+    DramChannel channel_;
+    Cycle now_ = 0;
+};
+
+TEST_F(SchedFixture, FcfsStrictlyOldestFirst)
+{
+    FcfsScheduler s;
+    MemRequest young = req(0, 0, 1, 100, 1);
+    MemRequest old = req(1, 1, 2, 50, 0);
+    openRow(0, 1); // row hit for 'young' must not matter.
+    EXPECT_TRUE(s.higherPriority(old, young, ctx()));
+    EXPECT_FALSE(s.higherPriority(young, old, ctx()));
+}
+
+TEST_F(SchedFixture, FrFcfsPrefersRowHits)
+{
+    FrFcfsScheduler s;
+    MemRequest hit = req(0, 0, 1, 100, 1);
+    MemRequest miss = req(1, 0, 2, 50, 0);
+    openRow(0, 1);
+    EXPECT_TRUE(s.higherPriority(hit, miss, ctx()));
+    EXPECT_FALSE(s.higherPriority(miss, hit, ctx()));
+}
+
+TEST_F(SchedFixture, FrFcfsAgeBreaksTies)
+{
+    FrFcfsScheduler s;
+    MemRequest a = req(0, 2, 7, 10, 0);
+    MemRequest b = req(1, 3, 8, 20, 1);
+    EXPECT_TRUE(s.higherPriority(a, b, ctx()));
+
+    // Same cycle: id breaks the tie deterministically.
+    MemRequest c = req(0, 2, 7, 10, 0);
+    MemRequest d = req(1, 3, 8, 10, 1);
+    EXPECT_TRUE(s.higherPriority(c, d, ctx()));
+    EXPECT_FALSE(s.higherPriority(d, c, ctx()));
+}
+
+TEST_F(SchedFixture, TcmClustersByIntensity)
+{
+    TcmScheduler s(4);
+    // Threads 0,1 nearly idle; threads 2,3 heavy.
+    std::vector<ThreadMemProfile> profiles = {
+        profile(0.1, 0.5, 1.0, 10),
+        profile(0.5, 0.5, 1.0, 40),
+        profile(20.0, 0.9, 1.0, 20000),
+        profile(15.0, 0.2, 6.0, 15000),
+    };
+    s.onIntervalProfiles(profiles);
+    EXPECT_TRUE(s.inLatencyCluster(0));
+    EXPECT_TRUE(s.inLatencyCluster(1));
+    EXPECT_FALSE(s.inLatencyCluster(2));
+    EXPECT_FALSE(s.inLatencyCluster(3));
+
+    // Latency-cluster requests outrank bandwidth-cluster requests.
+    MemRequest light = req(0, 0, 1, 100, 1);
+    MemRequest heavy = req(2, 1, 2, 50, 0);
+    EXPECT_TRUE(s.higherPriority(light, heavy, ctx()));
+}
+
+TEST_F(SchedFixture, TcmLatencyClusterOrderedByMpki)
+{
+    TcmScheduler s(4);
+    std::vector<ThreadMemProfile> profiles = {
+        profile(0.5, 0.5, 1.0, 40),
+        profile(0.1, 0.5, 1.0, 10),
+        profile(20.0, 0.9, 1.0, 20000),
+        profile(15.0, 0.2, 6.0, 15000),
+    };
+    s.onIntervalProfiles(profiles);
+    // Thread 1 (lower MPKI) outranks thread 0 inside the cluster.
+    EXPECT_GT(s.rankOf(1), s.rankOf(0));
+}
+
+TEST_F(SchedFixture, TcmNicenessRanksBwCluster)
+{
+    TcmScheduler s(4, TcmParams{0.01, 800});
+    // All heavy (tiny cluster threshold): thread 2 has high BLP and
+    // low RBL (nice); thread 3 has low BLP and high RBL (not nice).
+    std::vector<ThreadMemProfile> profiles = {
+        profile(10.0, 0.5, 3.0, 10000),
+        profile(11.0, 0.5, 3.0, 11000),
+        profile(12.0, 0.1, 8.0, 12000),
+        profile(12.0, 0.95, 1.0, 12000),
+    };
+    s.onIntervalProfiles(profiles);
+    EXPECT_GT(s.rankOf(2), s.rankOf(3));
+}
+
+TEST_F(SchedFixture, TcmShuffleRotatesBwRanks)
+{
+    TcmScheduler s(3, TcmParams{0.01, 10});
+    std::vector<ThreadMemProfile> profiles = {
+        profile(10.0, 0.5, 5.0, 10000),
+        profile(11.0, 0.5, 3.0, 11000),
+        profile(12.0, 0.5, 1.0, 12000),
+    };
+    s.onIntervalProfiles(profiles);
+    int top_before = -1;
+    for (int t = 0; t < 3; ++t)
+        if (top_before < 0 || s.rankOf(t) > s.rankOf(top_before))
+            top_before = t;
+    s.tick(10); // shuffle boundary.
+    int top_after = -1;
+    for (int t = 0; t < 3; ++t)
+        if (top_after < 0 || s.rankOf(t) > s.rankOf(top_after))
+            top_after = t;
+    EXPECT_NE(top_before, top_after);
+}
+
+TEST_F(SchedFixture, AtlasRanksLeastAttainedServiceFirst)
+{
+    AtlasScheduler s(2, 4, AtlasParams{100, 0.0});
+    // Thread 0 receives lots of service, thread 1 little.
+    for (int i = 0; i < 10; ++i)
+        s.onComplete(req(0, 0, 1, 0, 0), 0);
+    s.onComplete(req(1, 0, 1, 0, 0), 0);
+    s.tick(100); // quantum boundary.
+    EXPECT_GT(s.attainedService(0), s.attainedService(1));
+
+    MemRequest starved = req(1, 0, 1, 100, 1);
+    MemRequest served = req(0, 1, 2, 50, 0);
+    EXPECT_TRUE(s.higherPriority(starved, served, ctx()));
+}
+
+TEST_F(SchedFixture, AtlasSmoothsAcrossQuanta)
+{
+    AtlasScheduler s(1, 4, AtlasParams{100, 0.5});
+    s.onComplete(req(0, 0, 1, 0, 0), 0); // 4 cycles of service.
+    s.tick(100);
+    double first = s.attainedService(0);
+    EXPECT_NEAR(first, 2.0, 1e-9); // (1-alpha) * 4.
+    s.tick(200); // empty quantum decays history.
+    EXPECT_NEAR(s.attainedService(0), 1.0, 1e-9);
+}
+
+class ParbsFixture : public SchedFixture, public QueueView
+{
+  public:
+    void
+    forEachPendingRead(
+        const std::function<void(MemRequest &)> &fn) override
+    {
+        for (auto &r : queue_)
+            fn(r);
+    }
+
+  protected:
+    std::vector<MemRequest> queue_;
+};
+
+TEST_F(ParbsFixture, BatchMarksUpToCapPerThreadBank)
+{
+    ParbsScheduler s(2, 8, ParbsParams{2});
+    s.attachQueueView(this);
+
+    // Thread 0: 4 requests to bank 0; thread 1: 1 request to bank 1.
+    for (int i = 0; i < 4; ++i)
+        queue_.push_back(req(0, 0, 1, static_cast<Cycle>(i), i));
+    queue_.push_back(req(1, 1, 1, 10, 99));
+
+    s.tick(0); // forms the batch.
+    EXPECT_EQ(s.batchesFormed(), 1u);
+    EXPECT_EQ(s.markedRemaining(), 3u); // 2 (cap) + 1.
+
+    // The two oldest of thread 0 are marked, the rest not.
+    EXPECT_TRUE(queue_[0].marked);
+    EXPECT_TRUE(queue_[1].marked);
+    EXPECT_FALSE(queue_[2].marked);
+    EXPECT_FALSE(queue_[3].marked);
+    EXPECT_TRUE(queue_[4].marked);
+}
+
+TEST_F(ParbsFixture, MarkedBeatsUnmarked)
+{
+    ParbsScheduler s(2, 8);
+    s.attachQueueView(this);
+    queue_.push_back(req(0, 0, 1, 0, 0));
+    s.tick(0);
+
+    MemRequest unmarked = req(1, 1, 1, 0, 5);
+    EXPECT_TRUE(s.higherPriority(queue_[0], unmarked, ctx()));
+}
+
+TEST_F(ParbsFixture, ShorterJobRanksHigher)
+{
+    ParbsScheduler s(2, 8, ParbsParams{5});
+    s.attachQueueView(this);
+    // Thread 0: 5 requests on one bank (max load 5). Thread 1: 2
+    // requests spread on two banks (max load 1 each).
+    for (int i = 0; i < 5; ++i)
+        queue_.push_back(req(0, 0, 1, static_cast<Cycle>(i), i));
+    queue_.push_back(req(1, 1, 1, 0, 10));
+    queue_.push_back(req(1, 2, 1, 0, 11));
+    s.tick(0);
+
+    // Both marked; thread 1 (shorter job) wins.
+    EXPECT_TRUE(s.higherPriority(queue_[5], queue_[0], ctx()));
+}
+
+TEST_F(ParbsFixture, NewBatchOnlyWhenDrained)
+{
+    ParbsScheduler s(1, 8, ParbsParams{5});
+    s.attachQueueView(this);
+    queue_.push_back(req(0, 0, 1, 0, 0));
+    s.tick(0);
+    EXPECT_EQ(s.batchesFormed(), 1u);
+    s.tick(1); // marked requests remain: no new batch.
+    EXPECT_EQ(s.batchesFormed(), 1u);
+
+    s.onDequeue(queue_[0]);
+    queue_.clear();
+    queue_.push_back(req(0, 1, 1, 5, 1));
+    s.tick(2);
+    EXPECT_EQ(s.batchesFormed(), 2u);
+}
+
+TEST(SchedFactory, BuildsEveryName)
+{
+    SchedulerInit init;
+    init.numThreads = 4;
+    for (const auto &name : schedulerNames()) {
+        auto s = makeScheduler(name, init);
+        ASSERT_NE(s, nullptr);
+        EXPECT_EQ(s->name(), name);
+    }
+}
+
+TEST(SchedFactory, RejectsUnknown)
+{
+    SchedulerInit init;
+    EXPECT_EXIT({ makeScheduler("bogus", init); },
+                ::testing::ExitedWithCode(1), "unknown scheduler");
+}
+
+} // namespace
+} // namespace dbpsim

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Trace-generation tests: the synthetic generator's statistical dials
+ * (MPKI, footprint, write fraction, sequential locality, phases),
+ * determinism, the SPEC-like profile library, workload mixes, and
+ * trace-file round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "trace/mix.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_file.hh"
+
+namespace dbpsim {
+namespace {
+
+SyntheticParams
+baseParams()
+{
+    SyntheticParams p;
+    p.name = "test";
+    p.seed = 42;
+    p.phases[0].mpki = 20.0;
+    p.phases[0].streams = 2;
+    p.phases[0].seqRunLines = 16.0;
+    p.phases[0].randomFrac = 0.1;
+    p.phases[0].writeFrac = 0.3;
+    p.phases[0].footprintPages = 256;
+    return p;
+}
+
+TEST(Synthetic, Deterministic)
+{
+    SyntheticSource a(baseParams());
+    SyntheticSource b(baseParams());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Synthetic, ResetReplays)
+{
+    SyntheticSource s(baseParams());
+    std::vector<TraceRecord> first;
+    for (int i = 0; i < 200; ++i)
+        first.push_back(s.next());
+    s.reset();
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(s.next(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Synthetic, MpkiApproximatelyMet)
+{
+    SyntheticParams p = baseParams();
+    p.phases[0].mpki = 10.0;
+    SyntheticSource s(p);
+
+    std::uint64_t instrs = 0;
+    const int accesses = 20000;
+    for (int i = 0; i < accesses; ++i)
+        instrs += s.next().gap + 1;
+    double mpki = 1000.0 * accesses / static_cast<double>(instrs);
+    EXPECT_NEAR(mpki, 10.0, 0.5);
+}
+
+TEST(Synthetic, WriteFractionApproximatelyMet)
+{
+    SyntheticParams p = baseParams();
+    p.phases[0].writeFrac = 0.4;
+    SyntheticSource s(p);
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        writes += s.next().write ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(writes) / n, 0.4, 0.02);
+}
+
+TEST(Synthetic, FootprintRespected)
+{
+    SyntheticParams p = baseParams();
+    p.phases[0].footprintPages = 64;
+    SyntheticSource s(p);
+    std::set<std::uint64_t> pages;
+    for (int i = 0; i < 20000; ++i) {
+        TraceRecord r = s.next();
+        pages.insert(r.vaddr / kTracePageBytes);
+    }
+    EXPECT_LE(pages.size(), 64u);
+    EXPECT_GE(pages.size(), 32u); // actually explores the footprint.
+}
+
+TEST(Synthetic, AddressesLineAligned)
+{
+    SyntheticSource s(baseParams());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(s.next().vaddr % kTraceLineBytes, 0u);
+}
+
+TEST(Synthetic, SequentialityTracksSeqRunLines)
+{
+    // High seqRunLines => most accesses are +1 line from some recent
+    // access of the same stream. Compare sequential-step fraction of
+    // a streaming config vs a random config.
+    auto seq_fraction = [](double seq_run, double random_frac,
+                           unsigned streams) {
+        SyntheticParams p;
+        p.seed = 7;
+        p.phases[0].mpki = 50.0;
+        p.phases[0].streams = streams;
+        p.phases[0].seqRunLines = seq_run;
+        p.phases[0].randomFrac = random_frac;
+        p.phases[0].footprintPages = 4096;
+        SyntheticSource s(p);
+        Addr prev = ~0ULL;
+        int seq = 0;
+        const int n = 10000;
+        for (int i = 0; i < n; ++i) {
+            Addr a = s.next().vaddr;
+            if (prev != ~0ULL && a == prev + kTraceLineBytes)
+                ++seq;
+            prev = a;
+        }
+        return static_cast<double>(seq) / n;
+    };
+
+    double streaming = seq_fraction(128.0, 0.0, 1);
+    double random = seq_fraction(2.0, 0.6, 1);
+    EXPECT_GT(streaming, 0.9);
+    EXPECT_LT(random, 0.4);
+}
+
+TEST(Synthetic, PhasesAlternate)
+{
+    SyntheticParams p;
+    p.seed = 3;
+    SyntheticPhase a;
+    a.mpki = 100.0;
+    a.streams = 1;
+    a.footprintPages = 64;
+    a.durationKiloInst = 10; // 10k instructions.
+    SyntheticPhase b = a;
+    b.footprintPages = 8192; // visible signature: wider addresses.
+    p.phases = {a, b};
+    SyntheticSource s(p);
+
+    // Run well past several phase flips; addresses beyond phase A's
+    // 64-page footprint prove phase B became active, and returns
+    // below it afterwards prove cycling back.
+    bool saw_wide = false;
+    std::uint64_t instrs = 0;
+    while (instrs < 100'000) {
+        TraceRecord r = s.next();
+        instrs += r.gap + 1;
+        if (r.vaddr >= 64 * kTracePageBytes)
+            saw_wide = true;
+    }
+    EXPECT_TRUE(saw_wide);
+}
+
+TEST(Synthetic, RejectsNonsenseParams)
+{
+    SyntheticParams p = baseParams();
+    p.phases[0].mpki = 0.0;
+    EXPECT_DEATH({ SyntheticSource s(p); }, "mpki");
+}
+
+TEST(SpecProfiles, LibraryIsRich)
+{
+    const auto &all = specProfiles();
+    EXPECT_GE(all.size(), 18u);
+    unsigned intensive = 0;
+    for (const auto &p : all) {
+        EXPECT_FALSE(p.name.empty());
+        EXPECT_FALSE(p.description.empty());
+        intensive += p.intensive ? 1 : 0;
+    }
+    EXPECT_GE(intensive, 8u);
+    EXPECT_GE(all.size() - intensive, 5u);
+}
+
+TEST(SpecProfiles, LookupAndInstantiation)
+{
+    EXPECT_TRUE(hasSpecProfile("mcf"));
+    EXPECT_FALSE(hasSpecProfile("no-such-app"));
+    EXPECT_TRUE(specProfile("libquantum").intensive);
+    EXPECT_FALSE(specProfile("povray").intensive);
+
+    auto s = makeSpecSource("mcf", 1);
+    EXPECT_EQ(s->name(), "mcf");
+    s->next();
+}
+
+TEST(SpecProfiles, SeedsDifferentiateInstances)
+{
+    auto a = makeSpecSource("mcf", 1);
+    auto b = makeSpecSource("mcf", 2);
+    bool differ = false;
+    for (int i = 0; i < 50; ++i)
+        differ = differ || !(a->next() == b->next());
+    EXPECT_TRUE(differ);
+}
+
+TEST(Mixes, StandardSetShape)
+{
+    const auto &mixes = standardMixes();
+    ASSERT_EQ(mixes.size(), 12u);
+    for (const auto &m : mixes) {
+        EXPECT_EQ(m.apps.size(), 8u);
+        for (const auto &a : m.apps)
+            EXPECT_TRUE(hasSpecProfile(a)) << a;
+    }
+    // Intensity grading: W01 is 25 %, W10 is 100 %.
+    EXPECT_NEAR(mixByName("W01").intensiveFraction(), 0.25, 0.01);
+    EXPECT_NEAR(mixByName("W04").intensiveFraction(), 0.50, 0.01);
+    EXPECT_NEAR(mixByName("W07").intensiveFraction(), 0.75, 0.01);
+    EXPECT_NEAR(mixByName("W10").intensiveFraction(), 1.00, 0.01);
+}
+
+TEST(Mixes, ScaleTruncatesAndRepeats)
+{
+    const WorkloadMix &m = mixByName("W01");
+    WorkloadMix small = scaleMix(m, 4);
+    EXPECT_EQ(small.apps.size(), 4u);
+    EXPECT_EQ(small.apps[0], m.apps[0]);
+
+    WorkloadMix big = scaleMix(m, 16);
+    EXPECT_EQ(big.apps.size(), 16u);
+    EXPECT_EQ(big.apps[8], m.apps[0]);
+}
+
+TEST(Mixes, BuildSourcesMatchesApps)
+{
+    const WorkloadMix &m = mixByName("W04");
+    auto sources = buildMixSources(m, 42);
+    ASSERT_EQ(sources.size(), m.apps.size());
+    for (std::size_t i = 0; i < sources.size(); ++i)
+        EXPECT_EQ(sources[i]->name(), m.apps[i]);
+}
+
+TEST(TraceFile, RoundTrip)
+{
+    SyntheticSource s(baseParams());
+    std::vector<TraceRecord> records = captureRecords(s, 500);
+
+    std::string path = ::testing::TempDir() + "/dbpsim_trace_test.txt";
+    writeTraceFile(path, records);
+    std::vector<TraceRecord> back = readTraceFile(path);
+    ASSERT_EQ(back.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i)
+        EXPECT_EQ(back[i], records[i]);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, SourceWrapsAround)
+{
+    std::vector<TraceRecord> records = {
+        {1, 0x0, false}, {2, 0x40, true}, {3, 0x80, false}};
+    TraceFileSource src("test", records);
+    EXPECT_EQ(src.size(), 3u);
+    for (int pass = 0; pass < 3; ++pass)
+        for (const auto &r : records)
+            EXPECT_EQ(src.next(), r);
+    EXPECT_EQ(src.wraps(), 3u);
+    src.reset();
+    EXPECT_EQ(src.wraps(), 0u);
+    EXPECT_EQ(src.next(), records[0]);
+}
+
+TEST(TraceFile, RejectsBadContent)
+{
+    std::string path = ::testing::TempDir() + "/dbpsim_bad_trace.txt";
+    {
+        FILE *f = fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        fputs("not a trace header\n", f);
+        fclose(f);
+    }
+    EXPECT_EXIT({ readTraceFile(path); },
+                ::testing::ExitedWithCode(1), "header");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace dbpsim
