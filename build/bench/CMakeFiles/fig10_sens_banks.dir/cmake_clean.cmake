@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sens_banks.dir/fig10_sens_banks.cpp.o"
+  "CMakeFiles/fig10_sens_banks.dir/fig10_sens_banks.cpp.o.d"
+  "fig10_sens_banks"
+  "fig10_sens_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sens_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_sens_banks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_sens_interval.dir/fig11_sens_interval.cpp.o"
+  "CMakeFiles/fig11_sens_interval.dir/fig11_sens_interval.cpp.o.d"
+  "fig11_sens_interval"
+  "fig11_sens_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sens_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

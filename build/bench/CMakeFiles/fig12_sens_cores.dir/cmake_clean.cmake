@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sens_cores.dir/fig12_sens_cores.cpp.o"
+  "CMakeFiles/fig12_sens_cores.dir/fig12_sens_cores.cpp.o.d"
+  "fig12_sens_cores"
+  "fig12_sens_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sens_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

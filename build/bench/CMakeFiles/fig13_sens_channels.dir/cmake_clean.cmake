@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sens_channels.dir/fig13_sens_channels.cpp.o"
+  "CMakeFiles/fig13_sens_channels.dir/fig13_sens_channels.cpp.o.d"
+  "fig13_sens_channels"
+  "fig13_sens_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sens_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

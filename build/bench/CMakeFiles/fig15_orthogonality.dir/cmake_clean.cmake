@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_orthogonality.dir/fig15_orthogonality.cpp.o"
+  "CMakeFiles/fig15_orthogonality.dir/fig15_orthogonality.cpp.o.d"
+  "fig15_orthogonality"
+  "fig15_orthogonality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_orthogonality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

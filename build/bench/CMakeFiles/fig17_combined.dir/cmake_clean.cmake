@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_combined.dir/fig17_combined.cpp.o"
+  "CMakeFiles/fig17_combined.dir/fig17_combined.cpp.o.d"
+  "fig17_combined"
+  "fig17_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

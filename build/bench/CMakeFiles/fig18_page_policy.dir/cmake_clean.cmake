@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_page_policy.dir/fig18_page_policy.cpp.o"
+  "CMakeFiles/fig18_page_policy.dir/fig18_page_policy.cpp.o.d"
+  "fig18_page_policy"
+  "fig18_page_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_page_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_latency_tail.dir/fig19_latency_tail.cpp.o"
+  "CMakeFiles/fig19_latency_tail.dir/fig19_latency_tail.cpp.o.d"
+  "fig19_latency_tail"
+  "fig19_latency_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_latency_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

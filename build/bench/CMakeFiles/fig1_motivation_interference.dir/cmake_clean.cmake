@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_motivation_interference.dir/fig1_motivation_interference.cpp.o"
+  "CMakeFiles/fig1_motivation_interference.dir/fig1_motivation_interference.cpp.o.d"
+  "fig1_motivation_interference"
+  "fig1_motivation_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_motivation_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

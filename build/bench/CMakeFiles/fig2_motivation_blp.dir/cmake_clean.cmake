@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_motivation_blp.dir/fig2_motivation_blp.cpp.o"
+  "CMakeFiles/fig2_motivation_blp.dir/fig2_motivation_blp.cpp.o.d"
+  "fig2_motivation_blp"
+  "fig2_motivation_blp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_motivation_blp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_demand_estimation.dir/fig3_demand_estimation.cpp.o"
+  "CMakeFiles/fig3_demand_estimation.dir/fig3_demand_estimation.cpp.o.d"
+  "fig3_demand_estimation"
+  "fig3_demand_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_demand_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

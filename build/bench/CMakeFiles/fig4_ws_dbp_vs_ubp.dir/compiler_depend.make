@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_ws_dbp_vs_ubp.
+# This may be replaced when dependencies are built.

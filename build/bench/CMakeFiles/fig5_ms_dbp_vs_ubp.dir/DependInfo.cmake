@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_ms_dbp_vs_ubp.cpp" "bench/CMakeFiles/fig5_ms_dbp_vs_ubp.dir/fig5_ms_dbp_vs_ubp.cpp.o" "gcc" "bench/CMakeFiles/fig5_ms_dbp_vs_ubp.dir/fig5_ms_dbp_vs_ubp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dbp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dbp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/part/CMakeFiles/dbp_part.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dbp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dbp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dbp_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

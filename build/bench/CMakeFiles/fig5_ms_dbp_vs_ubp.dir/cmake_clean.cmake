@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ms_dbp_vs_ubp.dir/fig5_ms_dbp_vs_ubp.cpp.o"
+  "CMakeFiles/fig5_ms_dbp_vs_ubp.dir/fig5_ms_dbp_vs_ubp.cpp.o.d"
+  "fig5_ms_dbp_vs_ubp"
+  "fig5_ms_dbp_vs_ubp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ms_dbp_vs_ubp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_ms_dbp_vs_ubp.
+# This may be replaced when dependencies are built.

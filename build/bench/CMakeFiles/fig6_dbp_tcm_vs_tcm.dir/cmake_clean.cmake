@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dbp_tcm_vs_tcm.dir/fig6_dbp_tcm_vs_tcm.cpp.o"
+  "CMakeFiles/fig6_dbp_tcm_vs_tcm.dir/fig6_dbp_tcm_vs_tcm.cpp.o.d"
+  "fig6_dbp_tcm_vs_tcm"
+  "fig6_dbp_tcm_vs_tcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dbp_tcm_vs_tcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

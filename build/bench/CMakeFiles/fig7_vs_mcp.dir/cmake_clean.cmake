@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_vs_mcp.dir/fig7_vs_mcp.cpp.o"
+  "CMakeFiles/fig7_vs_mcp.dir/fig7_vs_mcp.cpp.o.d"
+  "fig7_vs_mcp"
+  "fig7_vs_mcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_vs_mcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

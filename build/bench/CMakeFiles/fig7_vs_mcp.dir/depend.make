@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_vs_mcp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_per_thread_slowdown.dir/fig8_per_thread_slowdown.cpp.o"
+  "CMakeFiles/fig8_per_thread_slowdown.dir/fig8_per_thread_slowdown.cpp.o.d"
+  "fig8_per_thread_slowdown"
+  "fig8_per_thread_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_per_thread_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_config.dir/tab1_config.cpp.o"
+  "CMakeFiles/tab1_config.dir/tab1_config.cpp.o.d"
+  "tab1_config"
+  "tab1_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

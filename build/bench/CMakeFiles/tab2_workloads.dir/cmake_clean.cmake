@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_workloads.dir/tab2_workloads.cpp.o"
+  "CMakeFiles/tab2_workloads.dir/tab2_workloads.cpp.o.d"
+  "tab2_workloads"
+  "tab2_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_compare.dir/scheduler_compare.cpp.o"
+  "CMakeFiles/scheduler_compare.dir/scheduler_compare.cpp.o.d"
+  "scheduler_compare"
+  "scheduler_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_mix.dir/workload_mix.cpp.o"
+  "CMakeFiles/workload_mix.dir/workload_mix.cpp.o.d"
+  "workload_mix"
+  "workload_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbp_cache.dir/cache.cc.o"
+  "CMakeFiles/dbp_cache.dir/cache.cc.o.d"
+  "libdbp_cache.a"
+  "libdbp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

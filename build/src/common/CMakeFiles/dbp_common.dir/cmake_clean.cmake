@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbp_common.dir/config.cc.o"
+  "CMakeFiles/dbp_common.dir/config.cc.o.d"
+  "CMakeFiles/dbp_common.dir/log.cc.o"
+  "CMakeFiles/dbp_common.dir/log.cc.o.d"
+  "CMakeFiles/dbp_common.dir/random.cc.o"
+  "CMakeFiles/dbp_common.dir/random.cc.o.d"
+  "CMakeFiles/dbp_common.dir/stats.cc.o"
+  "CMakeFiles/dbp_common.dir/stats.cc.o.d"
+  "CMakeFiles/dbp_common.dir/table.cc.o"
+  "CMakeFiles/dbp_common.dir/table.cc.o.d"
+  "libdbp_common.a"
+  "libdbp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbp_core.dir/core.cc.o"
+  "CMakeFiles/dbp_core.dir/core.cc.o.d"
+  "libdbp_core.a"
+  "libdbp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/addr_map.cc" "src/dram/CMakeFiles/dbp_dram.dir/addr_map.cc.o" "gcc" "src/dram/CMakeFiles/dbp_dram.dir/addr_map.cc.o.d"
+  "/root/repo/src/dram/channel.cc" "src/dram/CMakeFiles/dbp_dram.dir/channel.cc.o" "gcc" "src/dram/CMakeFiles/dbp_dram.dir/channel.cc.o.d"
+  "/root/repo/src/dram/energy.cc" "src/dram/CMakeFiles/dbp_dram.dir/energy.cc.o" "gcc" "src/dram/CMakeFiles/dbp_dram.dir/energy.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/dram/CMakeFiles/dbp_dram.dir/timing.cc.o" "gcc" "src/dram/CMakeFiles/dbp_dram.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbp_dram.dir/addr_map.cc.o"
+  "CMakeFiles/dbp_dram.dir/addr_map.cc.o.d"
+  "CMakeFiles/dbp_dram.dir/channel.cc.o"
+  "CMakeFiles/dbp_dram.dir/channel.cc.o.d"
+  "CMakeFiles/dbp_dram.dir/energy.cc.o"
+  "CMakeFiles/dbp_dram.dir/energy.cc.o.d"
+  "CMakeFiles/dbp_dram.dir/timing.cc.o"
+  "CMakeFiles/dbp_dram.dir/timing.cc.o.d"
+  "libdbp_dram.a"
+  "libdbp_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbp_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

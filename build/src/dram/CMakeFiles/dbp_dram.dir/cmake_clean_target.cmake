@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbp_dram.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/controller.cc" "src/mem/CMakeFiles/dbp_mem.dir/controller.cc.o" "gcc" "src/mem/CMakeFiles/dbp_mem.dir/controller.cc.o.d"
+  "/root/repo/src/mem/profiler.cc" "src/mem/CMakeFiles/dbp_mem.dir/profiler.cc.o" "gcc" "src/mem/CMakeFiles/dbp_mem.dir/profiler.cc.o.d"
+  "/root/repo/src/mem/sched_atlas.cc" "src/mem/CMakeFiles/dbp_mem.dir/sched_atlas.cc.o" "gcc" "src/mem/CMakeFiles/dbp_mem.dir/sched_atlas.cc.o.d"
+  "/root/repo/src/mem/sched_bliss.cc" "src/mem/CMakeFiles/dbp_mem.dir/sched_bliss.cc.o" "gcc" "src/mem/CMakeFiles/dbp_mem.dir/sched_bliss.cc.o.d"
+  "/root/repo/src/mem/sched_factory.cc" "src/mem/CMakeFiles/dbp_mem.dir/sched_factory.cc.o" "gcc" "src/mem/CMakeFiles/dbp_mem.dir/sched_factory.cc.o.d"
+  "/root/repo/src/mem/sched_parbs.cc" "src/mem/CMakeFiles/dbp_mem.dir/sched_parbs.cc.o" "gcc" "src/mem/CMakeFiles/dbp_mem.dir/sched_parbs.cc.o.d"
+  "/root/repo/src/mem/sched_tcm.cc" "src/mem/CMakeFiles/dbp_mem.dir/sched_tcm.cc.o" "gcc" "src/mem/CMakeFiles/dbp_mem.dir/sched_tcm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dbp_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbp_mem.dir/controller.cc.o"
+  "CMakeFiles/dbp_mem.dir/controller.cc.o.d"
+  "CMakeFiles/dbp_mem.dir/profiler.cc.o"
+  "CMakeFiles/dbp_mem.dir/profiler.cc.o.d"
+  "CMakeFiles/dbp_mem.dir/sched_atlas.cc.o"
+  "CMakeFiles/dbp_mem.dir/sched_atlas.cc.o.d"
+  "CMakeFiles/dbp_mem.dir/sched_bliss.cc.o"
+  "CMakeFiles/dbp_mem.dir/sched_bliss.cc.o.d"
+  "CMakeFiles/dbp_mem.dir/sched_factory.cc.o"
+  "CMakeFiles/dbp_mem.dir/sched_factory.cc.o.d"
+  "CMakeFiles/dbp_mem.dir/sched_parbs.cc.o"
+  "CMakeFiles/dbp_mem.dir/sched_parbs.cc.o.d"
+  "CMakeFiles/dbp_mem.dir/sched_tcm.cc.o"
+  "CMakeFiles/dbp_mem.dir/sched_tcm.cc.o.d"
+  "libdbp_mem.a"
+  "libdbp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/frame_alloc.cc" "src/os/CMakeFiles/dbp_os.dir/frame_alloc.cc.o" "gcc" "src/os/CMakeFiles/dbp_os.dir/frame_alloc.cc.o.d"
+  "/root/repo/src/os/os_memory.cc" "src/os/CMakeFiles/dbp_os.dir/os_memory.cc.o" "gcc" "src/os/CMakeFiles/dbp_os.dir/os_memory.cc.o.d"
+  "/root/repo/src/os/page_table.cc" "src/os/CMakeFiles/dbp_os.dir/page_table.cc.o" "gcc" "src/os/CMakeFiles/dbp_os.dir/page_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dbp_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

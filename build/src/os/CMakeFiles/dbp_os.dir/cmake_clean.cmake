@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbp_os.dir/frame_alloc.cc.o"
+  "CMakeFiles/dbp_os.dir/frame_alloc.cc.o.d"
+  "CMakeFiles/dbp_os.dir/os_memory.cc.o"
+  "CMakeFiles/dbp_os.dir/os_memory.cc.o.d"
+  "CMakeFiles/dbp_os.dir/page_table.cc.o"
+  "CMakeFiles/dbp_os.dir/page_table.cc.o.d"
+  "libdbp_os.a"
+  "libdbp_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbp_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/part/manager.cc" "src/part/CMakeFiles/dbp_part.dir/manager.cc.o" "gcc" "src/part/CMakeFiles/dbp_part.dir/manager.cc.o.d"
+  "/root/repo/src/part/part_combined.cc" "src/part/CMakeFiles/dbp_part.dir/part_combined.cc.o" "gcc" "src/part/CMakeFiles/dbp_part.dir/part_combined.cc.o.d"
+  "/root/repo/src/part/part_dbp.cc" "src/part/CMakeFiles/dbp_part.dir/part_dbp.cc.o" "gcc" "src/part/CMakeFiles/dbp_part.dir/part_dbp.cc.o.d"
+  "/root/repo/src/part/part_factory.cc" "src/part/CMakeFiles/dbp_part.dir/part_factory.cc.o" "gcc" "src/part/CMakeFiles/dbp_part.dir/part_factory.cc.o.d"
+  "/root/repo/src/part/part_mcp.cc" "src/part/CMakeFiles/dbp_part.dir/part_mcp.cc.o" "gcc" "src/part/CMakeFiles/dbp_part.dir/part_mcp.cc.o.d"
+  "/root/repo/src/part/part_ubp.cc" "src/part/CMakeFiles/dbp_part.dir/part_ubp.cc.o" "gcc" "src/part/CMakeFiles/dbp_part.dir/part_ubp.cc.o.d"
+  "/root/repo/src/part/policy.cc" "src/part/CMakeFiles/dbp_part.dir/policy.cc.o" "gcc" "src/part/CMakeFiles/dbp_part.dir/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dbp_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dbp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dbp_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

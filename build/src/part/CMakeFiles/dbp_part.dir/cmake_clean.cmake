@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbp_part.dir/manager.cc.o"
+  "CMakeFiles/dbp_part.dir/manager.cc.o.d"
+  "CMakeFiles/dbp_part.dir/part_combined.cc.o"
+  "CMakeFiles/dbp_part.dir/part_combined.cc.o.d"
+  "CMakeFiles/dbp_part.dir/part_dbp.cc.o"
+  "CMakeFiles/dbp_part.dir/part_dbp.cc.o.d"
+  "CMakeFiles/dbp_part.dir/part_factory.cc.o"
+  "CMakeFiles/dbp_part.dir/part_factory.cc.o.d"
+  "CMakeFiles/dbp_part.dir/part_mcp.cc.o"
+  "CMakeFiles/dbp_part.dir/part_mcp.cc.o.d"
+  "CMakeFiles/dbp_part.dir/part_ubp.cc.o"
+  "CMakeFiles/dbp_part.dir/part_ubp.cc.o.d"
+  "CMakeFiles/dbp_part.dir/policy.cc.o"
+  "CMakeFiles/dbp_part.dir/policy.cc.o.d"
+  "libdbp_part.a"
+  "libdbp_part.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbp_part.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dbp_part.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbp_sim.dir/experiment.cc.o"
+  "CMakeFiles/dbp_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/dbp_sim.dir/metrics.cc.o"
+  "CMakeFiles/dbp_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/dbp_sim.dir/params.cc.o"
+  "CMakeFiles/dbp_sim.dir/params.cc.o.d"
+  "CMakeFiles/dbp_sim.dir/schemes.cc.o"
+  "CMakeFiles/dbp_sim.dir/schemes.cc.o.d"
+  "CMakeFiles/dbp_sim.dir/system.cc.o"
+  "CMakeFiles/dbp_sim.dir/system.cc.o.d"
+  "libdbp_sim.a"
+  "libdbp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

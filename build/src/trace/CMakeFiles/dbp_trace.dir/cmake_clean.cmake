@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbp_trace.dir/mix.cc.o"
+  "CMakeFiles/dbp_trace.dir/mix.cc.o.d"
+  "CMakeFiles/dbp_trace.dir/spec_profiles.cc.o"
+  "CMakeFiles/dbp_trace.dir/spec_profiles.cc.o.d"
+  "CMakeFiles/dbp_trace.dir/synthetic.cc.o"
+  "CMakeFiles/dbp_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/dbp_trace.dir/trace_file.cc.o"
+  "CMakeFiles/dbp_trace.dir/trace_file.cc.o.d"
+  "libdbp_trace.a"
+  "libdbp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

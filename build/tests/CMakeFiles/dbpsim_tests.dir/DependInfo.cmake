@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_addr_map.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_addr_map.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_addr_map.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_calibration.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_calibration.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_calibration.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_controller.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_controller.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_controller.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_dram_sweep.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_dram_sweep.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_dram_sweep.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_os.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_os.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_os.cc.o.d"
+  "/root/repo/tests/test_partition.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_partition.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_partition.cc.o.d"
+  "/root/repo/tests/test_profiler.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_profiler.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_profiler.cc.o.d"
+  "/root/repo/tests/test_schedulers.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_schedulers.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_schedulers.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_system_extra.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_system_extra.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_system_extra.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/dbpsim_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/dbpsim_tests.dir/test_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dbp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dbp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/part/CMakeFiles/dbp_part.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dbp_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dbp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/dbp_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
