@@ -95,5 +95,10 @@ main(int argc, char **argv)
               << " repartitions, "
               << system.partitionManager().statPagesMigrated.value()
               << " pages migrated\n";
+
+    if (ProtocolChecker *pc = system.protocolChecker()) {
+        pc->finalize(system.memCycle());
+        pc->report(std::cout);
+    }
     return 0;
 }

@@ -68,9 +68,12 @@ cmdStat(const Config &config)
     };
     row("records", std::to_string(records.size()));
     row("instructions", std::to_string(instrs));
-    row("MPKI", formatDouble(1000.0 * n / instrs, 2));
-    row("write fraction", formatDouble(writes / n, 3));
-    row("sequential-step fraction", formatDouble(seq / n, 3));
+    row("MPKI",
+        formatDouble(1000.0 * n / static_cast<double>(instrs), 2));
+    row("write fraction",
+        formatDouble(static_cast<double>(writes) / n, 3));
+    row("sequential-step fraction",
+        formatDouble(static_cast<double>(seq) / n, 3));
     row("footprint (4 KiB pages)", std::to_string(pages.size()));
     table.print(std::cout);
 }
@@ -115,6 +118,11 @@ cmdReplay(const Config &config)
     }
     table.print(std::cout);
     std::cout << "trace wrapped " << file.wraps() << " time(s)\n";
+
+    if (ProtocolChecker *pc = system.protocolChecker()) {
+        pc->finalize(system.memCycle());
+        pc->report(std::cout);
+    }
 }
 
 } // namespace

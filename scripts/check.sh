@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+#
+# Pre-merge gate: everything a change must survive before it lands.
+#
+#   1. Default build (-Werror -Wall -Wextra -Wconversion -Wshadow)
+#      and the full test suite.
+#   2. ASan+UBSan build with the DRAM protocol checker compiled in
+#      (DBPSIM_CHECK=ON) and the full test suite again.
+#   3. clang-tidy over the files changed relative to the merge base
+#      (skipped with a note when clang-tidy is not installed).
+#
+# Usage: scripts/check.sh [base-ref]
+#   base-ref   Git ref to diff against for the clang-tidy step
+#              (default: main, falling back to HEAD~1).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+base_ref="${1:-main}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+# ---------------------------------------------------------------- 1 --
+step "default build (-Werror) + tests"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs"
+ctest --preset default -j "$jobs"
+
+# ---------------------------------------------------------------- 2 --
+step "ASan+UBSan build (protocol checker ON) + tests"
+cmake --preset asan-ubsan >/dev/null
+cmake --build --preset asan-ubsan -j "$jobs"
+ctest --preset asan-ubsan -j "$jobs"
+
+# ---------------------------------------------------------------- 3 --
+step "clang-tidy over changed files"
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping lint step."
+    exit 0
+fi
+
+if ! git rev-parse --verify --quiet "$base_ref" >/dev/null; then
+    base_ref="HEAD~1"
+fi
+merge_base="$(git merge-base "$base_ref" HEAD 2>/dev/null || echo "")"
+
+changed="$(
+    {
+        [ -n "$merge_base" ] && git diff --name-only "$merge_base" HEAD
+        git diff --name-only
+        git diff --name-only --cached
+    } | sort -u | grep -E '\.(cc|hh|cpp|hpp)$' || true
+)"
+
+if [ -z "$changed" ]; then
+    echo "no changed C++ files; nothing to lint."
+    exit 0
+fi
+
+# The default preset exports compile_commands.json for the tidy run.
+existing=()
+while IFS= read -r f; do
+    [ -f "$f" ] && existing+=("$f")
+done <<<"$changed"
+
+if [ "${#existing[@]}" -eq 0 ]; then
+    echo "changed files no longer exist; nothing to lint."
+    exit 0
+fi
+
+clang-tidy -p build "${existing[@]}"
+
+echo
+echo "all checks passed."

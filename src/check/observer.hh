@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Observer interfaces of the verification layer.
+ *
+ * The DRAM channel and the OS memory model publish events through
+ * these interfaces; the ProtocolChecker subscribes to both and
+ * re-derives every protocol and partitioning invariant from the raw
+ * event stream, independently of the component's own bookkeeping.
+ * Keeping the interfaces here (header-only, depending only on
+ * common/types) lets dram and os link without a cycle on dbp_check.
+ */
+
+#ifndef DBPSIM_CHECK_OBSERVER_HH
+#define DBPSIM_CHECK_OBSERVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dbpsim {
+
+enum class DramCmd; // defined in dram/channel.hh
+
+/**
+ * One DRAM command as put on a channel's command bus.
+ */
+struct CmdEvent
+{
+    unsigned channel = 0;      ///< issuing channel id.
+    DramCmd cmd{};             ///< command type.
+    unsigned rank = 0;         ///< target rank.
+    unsigned bank = 0;         ///< target bank (ignored for Refresh).
+    std::uint64_t row = 0;     ///< row argument (ACT/column commands).
+    Cycle cycle = 0;           ///< bus cycle of issue.
+    ThreadId tid = kInvalidThread; ///< requesting thread, or
+                                   ///< kInvalidThread for commands the
+                                   ///< controller issues on its own
+                                   ///< behalf (refresh, idle closes).
+};
+
+/**
+ * Sees every command a DramChannel issues.
+ */
+class CommandObserver
+{
+  public:
+    virtual ~CommandObserver() = default;
+
+    /** Called once per issued command, at issue time. */
+    virtual void onCommand(const CmdEvent &ev) = 0;
+};
+
+/**
+ * Sees the OS-side partitioning events: color-set adoption and
+ * per-frame allocation decisions.
+ */
+class PartitionObserver
+{
+  public:
+    virtual ~PartitionObserver() = default;
+
+    /** Thread @p tid may now allocate only from @p colors (sorted). */
+    virtual void onColorSet(ThreadId tid,
+                            const std::vector<unsigned> &colors) = 0;
+
+    /**
+     * A frame of bank color @p color was just allocated (or a page
+     * migrated into it) on behalf of thread @p tid.
+     */
+    virtual void onFrameAllocated(ThreadId tid, unsigned color) = 0;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_CHECK_OBSERVER_HH

@@ -1,0 +1,442 @@
+#include "check/protocol_check.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "dram/channel.hh"
+
+namespace dbpsim {
+
+const char *
+violationName(Violation v)
+{
+    switch (v) {
+      case Violation::ActToOpenBank: return "act_to_open_bank";
+      case Violation::ColToClosedBank: return "col_to_closed_bank";
+      case Violation::ColWrongRow: return "col_wrong_row";
+      case Violation::PreToClosedBank: return "pre_to_closed_bank";
+      case Violation::RefreshOpenBank: return "refresh_open_bank";
+      case Violation::TimingTRCD: return "trcd";
+      case Violation::TimingTRP: return "trp";
+      case Violation::TimingTRAS: return "tras";
+      case Violation::TimingTRC: return "trc";
+      case Violation::TimingTCCD: return "tccd";
+      case Violation::TimingTRRD: return "trrd";
+      case Violation::TimingTWTR: return "twtr";
+      case Violation::TimingTWR: return "twr";
+      case Violation::TimingTRTP: return "trtp";
+      case Violation::TimingTFAW: return "tfaw";
+      case Violation::TimingTRFC: return "trfc";
+      case Violation::RefreshLate: return "refresh_late";
+      case Violation::DataBusConflict: return "data_bus_conflict";
+      case Violation::PartitionAccess: return "partition_access";
+      case Violation::PartitionAlloc: return "partition_alloc";
+    }
+    DBP_PANIC("unreachable Violation");
+}
+
+ProtocolChecker::ProtocolChecker(const DramGeometry &geom,
+                                 const DramTiming &timing,
+                                 unsigned num_threads,
+                                 ProtocolCheckerParams params)
+    : geom_(geom), timing_(timing), params_(params)
+{
+    std::string err = timing.validate();
+    if (!err.empty())
+        fatal("protocol checker: invalid timing: ", err);
+
+    banks_.resize(geom.channels);
+    ranks_.resize(geom.channels);
+    channels_.resize(geom.channels);
+    for (unsigned ch = 0; ch < geom.channels; ++ch) {
+        banks_[ch].resize(geom.ranksPerChannel);
+        ranks_[ch].resize(geom.ranksPerChannel);
+        for (auto &rank_banks : banks_[ch])
+            rank_banks.resize(geom.banksPerRank);
+    }
+    allowedNow_.resize(num_threads);
+    everAllowed_.resize(num_threads);
+}
+
+ProtocolChecker::ShadowBank &
+ProtocolChecker::bankOf(const CmdEvent &ev)
+{
+    return banks_.at(ev.channel).at(ev.rank).at(ev.bank);
+}
+
+ProtocolChecker::ShadowRank &
+ProtocolChecker::rankOf(const CmdEvent &ev)
+{
+    return ranks_.at(ev.channel).at(ev.rank);
+}
+
+void
+ProtocolChecker::flag(Violation v, const CmdEvent &ev,
+                      const std::string &what)
+{
+    counts_[static_cast<std::size_t>(v)].inc();
+    std::ostringstream os;
+    os << "protocol violation [" << violationName(v) << "] "
+       << dramCmdName(ev.cmd) << " ch" << ev.channel << " rank"
+       << ev.rank << " bank" << ev.bank << " row" << ev.row
+       << " tid" << ev.tid << " at cycle " << ev.cycle << ": " << what;
+    last_ = os.str();
+    if (params_.failFast)
+        DBP_PANIC(last_);
+}
+
+void
+ProtocolChecker::flagPartition(Violation v, const std::string &what)
+{
+    counts_[static_cast<std::size_t>(v)].inc();
+    last_ = "partition violation [" + std::string(violationName(v)) +
+        "]: " + what;
+    if (params_.failFast)
+        DBP_PANIC(last_);
+}
+
+namespace {
+
+std::string
+tooEarly(const char *constraint, Cycle ready, Cycle now)
+{
+    std::ostringstream os;
+    os << constraint << " not satisfied: earliest legal cycle " << ready
+       << ", issued at " << now;
+    return os.str();
+}
+
+} // namespace
+
+void
+ProtocolChecker::checkActivate(const CmdEvent &ev)
+{
+    ShadowBank &b = bankOf(ev);
+    ShadowRank &r = rankOf(ev);
+    const Cycle c = ev.cycle;
+
+    if (b.open)
+        flag(Violation::ActToOpenBank, ev,
+             "bank already has an open row");
+    if (c < b.actReadyTRP)
+        flag(Violation::TimingTRP, ev,
+             tooEarly("tRP after precharge", b.actReadyTRP, c));
+    if (c < b.actReadyTRC)
+        flag(Violation::TimingTRC, ev,
+             tooEarly("tRC after previous ACT", b.actReadyTRC, c));
+    if (c < r.actReadyTRRD)
+        flag(Violation::TimingTRRD, ev,
+             tooEarly("tRRD after rank ACT", r.actReadyTRRD, c));
+    if (r.actFill >= 4) {
+        Cycle oldest = r.actTimes[r.actPtr];
+        if (c < oldest + timing_.tFAW)
+            flag(Violation::TimingTFAW, ev,
+                 tooEarly("tFAW four-activate window",
+                          oldest + timing_.tFAW, c));
+    }
+
+    b.open = true;
+    b.row = ev.row;
+    b.actReadyTRC = c + timing_.tRC;
+    b.colReadyTRCD = c + timing_.tRCD;
+    b.preReadyTRAS = c + timing_.tRAS;
+    r.actReadyTRRD = c + timing_.tRRD;
+    r.actTimes[r.actPtr] = c;
+    r.actPtr = (r.actPtr + 1) % 4;
+    if (r.actFill < 4)
+        ++r.actFill;
+}
+
+void
+ProtocolChecker::checkPrecharge(const CmdEvent &ev)
+{
+    ShadowBank &b = bankOf(ev);
+    const Cycle c = ev.cycle;
+
+    if (!b.open)
+        flag(Violation::PreToClosedBank, ev,
+             "precharge to a closed bank");
+    if (c < b.preReadyTRAS)
+        flag(Violation::TimingTRAS, ev,
+             tooEarly("tRAS after ACT", b.preReadyTRAS, c));
+    if (c < b.preReadyTWR)
+        flag(Violation::TimingTWR, ev,
+             tooEarly("tWR after write data", b.preReadyTWR, c));
+    if (c < b.preReadyTRTP)
+        flag(Violation::TimingTRTP, ev,
+             tooEarly("tRTP after read", b.preReadyTRTP, c));
+
+    b.open = false;
+    b.actReadyTRP = c + timing_.tRP;
+}
+
+void
+ProtocolChecker::checkDataBus(const CmdEvent &ev, bool is_write)
+{
+    ShadowChannel &ch = channels_.at(ev.channel);
+    const Cycle start =
+        ev.cycle + (is_write ? timing_.tCWL : timing_.tCL);
+    Cycle required = ch.dataBusFreeAt;
+    bool switch_penalty = ch.lastDataRank >= 0 &&
+        (static_cast<unsigned>(ch.lastDataRank) != ev.rank ||
+         ch.lastDataWrite != is_write);
+    if (switch_penalty)
+        required += timing_.tRTRS;
+    if (start < required)
+        flag(Violation::DataBusConflict, ev,
+             tooEarly(switch_penalty
+                          ? "data bus busy (incl. tRTRS switch)"
+                          : "data bus busy",
+                      required, start));
+
+    ch.dataBusFreeAt = start + timing_.tBURST;
+    ch.lastDataRank = static_cast<int>(ev.rank);
+    ch.lastDataWrite = is_write;
+}
+
+void
+ProtocolChecker::checkPartitionAccess(const CmdEvent &ev)
+{
+    if (ev.tid < 0 ||
+        static_cast<std::size_t>(ev.tid) >= everAllowed_.size())
+        return;
+    const auto &ever = everAllowed_[static_cast<std::size_t>(ev.tid)];
+    if (ever.empty())
+        return; // no assignment recorded yet: unpartitioned.
+    unsigned color =
+        (ev.channel * geom_.ranksPerChannel + ev.rank) *
+            geom_.banksPerRank + ev.bank;
+    if (color >= ever.size() || !ever[color]) {
+        std::ostringstream os;
+        os << "thread " << ev.tid << " accessed bank color " << color
+           << " which was never in its partition";
+        flag(Violation::PartitionAccess, ev, os.str());
+        return;
+    }
+    const auto &now = allowedNow_[static_cast<std::size_t>(ev.tid)];
+    if (!now[color])
+        statStaleAccesses.inc(); // legitimate pre-repartition page.
+}
+
+void
+ProtocolChecker::checkColumn(const CmdEvent &ev, bool is_write)
+{
+    ShadowBank &b = bankOf(ev);
+    ShadowRank &r = rankOf(ev);
+    ShadowChannel &ch = channels_.at(ev.channel);
+    const Cycle c = ev.cycle;
+
+    if (!b.open)
+        flag(Violation::ColToClosedBank, ev,
+             "column command to a closed bank");
+    else if (b.row != ev.row) {
+        std::ostringstream os;
+        os << "open row is " << b.row;
+        flag(Violation::ColWrongRow, ev, os.str());
+    }
+    if (c < b.colReadyTRCD)
+        flag(Violation::TimingTRCD, ev,
+             tooEarly("tRCD after ACT", b.colReadyTRCD, c));
+    if (c < ch.colReadyTCCD)
+        flag(Violation::TimingTCCD, ev,
+             tooEarly("tCCD after column command", ch.colReadyTCCD, c));
+    if (!is_write && c < r.rdReadyTWTR)
+        flag(Violation::TimingTWTR, ev,
+             tooEarly("tWTR after write data", r.rdReadyTWTR, c));
+
+    checkDataBus(ev, is_write);
+    checkPartitionAccess(ev);
+
+    ch.colReadyTCCD = c + timing_.tCCD;
+    if (is_write) {
+        Cycle data_end = c + timing_.tCWL + timing_.tBURST;
+        b.preReadyTWR = data_end + timing_.tWR;
+        r.rdReadyTWTR = data_end + timing_.tWTR;
+        if (ev.cmd == DramCmd::WriteAp) {
+            b.open = false;
+            b.actReadyTRP = data_end + timing_.tWR + timing_.tRP;
+        }
+    } else {
+        b.preReadyTRTP = c + timing_.tRTP;
+        if (ev.cmd == DramCmd::ReadAp) {
+            b.open = false;
+            b.actReadyTRP = c + timing_.tRTP + timing_.tRP;
+        }
+    }
+}
+
+void
+ProtocolChecker::checkRefresh(const CmdEvent &ev)
+{
+    ShadowRank &r = rankOf(ev);
+    const Cycle c = ev.cycle;
+
+    auto &rank_banks = banks_.at(ev.channel).at(ev.rank);
+    for (unsigned bi = 0; bi < rank_banks.size(); ++bi) {
+        ShadowBank &b = rank_banks[bi];
+        CmdEvent bev = ev;
+        bev.bank = bi;
+        if (b.open)
+            flag(Violation::RefreshOpenBank, bev,
+                 "refresh while the bank has an open row");
+        if (c < b.actReadyTRP)
+            flag(Violation::TimingTRP, bev,
+                 tooEarly("tRP before refresh", b.actReadyTRP, c));
+        if (c < b.actReadyTRC)
+            flag(Violation::TimingTRC, bev,
+                 tooEarly("tRC before refresh", b.actReadyTRC, c));
+    }
+
+    Cycle bound = static_cast<Cycle>(params_.refreshPostponeMax + 1) *
+        timing_.tREFI;
+    if (c > r.lastRefreshAt + bound)
+        flag(Violation::RefreshLate, ev,
+             "inter-refresh gap " +
+                 std::to_string(c - r.lastRefreshAt) +
+                 " exceeds bound " + std::to_string(bound));
+
+    r.refreshEndAt = c + timing_.tRFC;
+    r.lastRefreshAt = c;
+    r.refreshedOnce = true;
+}
+
+void
+ProtocolChecker::onCommand(const CmdEvent &ev)
+{
+    statCommands.inc();
+    DBP_ASSERT(ev.channel < banks_.size(),
+               "checker: channel " << ev.channel << " out of range");
+    DBP_ASSERT(ev.rank < geom_.ranksPerChannel,
+               "checker: rank " << ev.rank << " out of range");
+    if (ev.cmd != DramCmd::Refresh)
+        DBP_ASSERT(ev.bank < geom_.banksPerRank,
+                   "checker: bank " << ev.bank << " out of range");
+
+    // Nothing may target a rank whose refresh is still in flight.
+    ShadowRank &r = rankOf(ev);
+    if (ev.cycle < r.refreshEndAt)
+        flag(Violation::TimingTRFC, ev,
+             tooEarly("tRFC after refresh", r.refreshEndAt, ev.cycle));
+
+    switch (ev.cmd) {
+      case DramCmd::Activate:
+        checkActivate(ev);
+        break;
+      case DramCmd::Precharge:
+        checkPrecharge(ev);
+        break;
+      case DramCmd::Read:
+      case DramCmd::ReadAp:
+        checkColumn(ev, false);
+        break;
+      case DramCmd::Write:
+      case DramCmd::WriteAp:
+        checkColumn(ev, true);
+        break;
+      case DramCmd::Refresh:
+        checkRefresh(ev);
+        break;
+    }
+}
+
+void
+ProtocolChecker::onColorSet(ThreadId tid,
+                            const std::vector<unsigned> &colors)
+{
+    if (tid < 0 || static_cast<std::size_t>(tid) >= allowedNow_.size())
+        return;
+    auto t = static_cast<std::size_t>(tid);
+    std::size_t total = geom_.totalBanks();
+    allowedNow_[t].assign(total, 0);
+    if (everAllowed_[t].empty())
+        everAllowed_[t].assign(total, 0);
+    for (unsigned c : colors) {
+        if (c >= total) {
+            flagPartition(Violation::PartitionAlloc,
+                          "color " + std::to_string(c) +
+                              " out of range in assignment for thread " +
+                              std::to_string(tid));
+            continue;
+        }
+        allowedNow_[t][c] = 1;
+        everAllowed_[t][c] = 1;
+    }
+}
+
+void
+ProtocolChecker::onFrameAllocated(ThreadId tid, unsigned color)
+{
+    statAllocations.inc();
+    if (tid < 0 || static_cast<std::size_t>(tid) >= allowedNow_.size())
+        return;
+    const auto &now = allowedNow_[static_cast<std::size_t>(tid)];
+    if (now.empty())
+        return; // unpartitioned.
+    if (color >= now.size() || !now[color]) {
+        std::ostringstream os;
+        os << "frame of color " << color << " allocated for thread "
+           << tid << " outside its color set";
+        flagPartition(Violation::PartitionAlloc, os.str());
+    }
+}
+
+void
+ProtocolChecker::finalize(Cycle now)
+{
+    Cycle bound = static_cast<Cycle>(params_.refreshPostponeMax + 1) *
+        timing_.tREFI;
+    for (unsigned ch = 0; ch < ranks_.size(); ++ch) {
+        for (unsigned rk = 0; rk < ranks_[ch].size(); ++rk) {
+            const ShadowRank &r = ranks_[ch][rk];
+            if (now > r.lastRefreshAt + bound) {
+                CmdEvent ev;
+                ev.channel = ch;
+                ev.cmd = DramCmd::Refresh;
+                ev.rank = rk;
+                ev.cycle = now;
+                flag(Violation::RefreshLate, ev,
+                     "rank not refreshed within " +
+                         std::to_string(bound) +
+                         " cycles of end of run");
+            }
+        }
+    }
+}
+
+std::uint64_t
+ProtocolChecker::violations() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : counts_)
+        total += c.value();
+    return total;
+}
+
+void
+ProtocolChecker::addStats(StatGroup &g) const
+{
+    g.addScalar("commands", &statCommands);
+    g.addScalar("allocations", &statAllocations);
+    g.addScalar("stale_accesses", &statStaleAccesses);
+    for (std::size_t i = 0; i < kNumViolations; ++i)
+        g.addScalar(std::string("violation_") +
+                        violationName(static_cast<Violation>(i)),
+                    &counts_[i]);
+}
+
+void
+ProtocolChecker::report(std::ostream &os) const
+{
+    os << "protocol checker: " << commandsChecked()
+       << " commands checked, " << violations() << " violations\n";
+    for (std::size_t i = 0; i < kNumViolations; ++i) {
+        if (counts_[i].value() == 0)
+            continue;
+        os << "  " << violationName(static_cast<Violation>(i)) << ": "
+           << counts_[i].value() << '\n';
+    }
+    if (!last_.empty())
+        os << "  last: " << last_ << '\n';
+}
+
+} // namespace dbpsim

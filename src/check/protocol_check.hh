@@ -1,0 +1,244 @@
+/**
+ * @file
+ * DRAM protocol checker.
+ *
+ * An always-compiled, config-gated validator that watches every
+ * command the controllers put on the channels' command buses and
+ * re-derives the DDR timing rules and structural invariants from
+ * scratch — its shadow state is built only from observed CmdEvents, so
+ * a bookkeeping bug inside DramChannel (a forgotten tWTR update, a
+ * mis-folded tRP) is caught here even though the channel's own
+ * canIssue() believed the command legal.
+ *
+ * Checked timing constraints (per the DramTiming in force):
+ *   tRCD, tRP, tRAS, tRC, tCCD, tRRD, tWTR, tWR, tRTP, tFAW (four
+ *   activates per rolling window), tRFC (nothing to a refreshing
+ *   rank), refresh cadence (inter-REF gap bounded by the JEDEC
+ *   pull-in/postpone window), and data-bus occupancy incl. tRTRS.
+ *
+ * Structural invariants:
+ *   no ACT to an open bank, no column command to a closed bank or to
+ *   the wrong open row, no PRE to a closed bank, no REF over open
+ *   banks.
+ *
+ * Partitioning invariants (fed by OsMemory through PartitionObserver):
+ *   allocation containment — a frame allocated for a thread must have
+ *   a color inside the thread's current color set; access containment
+ *   — a thread's column command must target a bank whose color was at
+ *   some point assigned to that thread (pages legitimately survive a
+ *   repartition under lazy/none migration, so only a never-assigned
+ *   color is a violation; accesses to formerly-assigned colors are
+ *   tracked separately as stale accesses).
+ *
+ * In fail-fast mode the first violation panics with a full
+ * description; otherwise violations are counted per class and the
+ * caller asserts on the counters (tests) or dumps them (stats).
+ */
+
+#ifndef DBPSIM_CHECK_PROTOCOL_CHECK_HH
+#define DBPSIM_CHECK_PROTOCOL_CHECK_HH
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "check/observer.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/addr_map.hh"
+#include "dram/timing.hh"
+
+namespace dbpsim {
+
+/**
+ * Violation classes the checker distinguishes.
+ */
+enum class Violation
+{
+    ActToOpenBank,    ///< ACT while the bank already has an open row.
+    ColToClosedBank,  ///< RD/WR to a bank with no open row.
+    ColWrongRow,      ///< RD/WR to a row other than the open one.
+    PreToClosedBank,  ///< PRE to an already-closed bank.
+    RefreshOpenBank,  ///< REF while a bank of the rank is open.
+    TimingTRCD,       ///< column command < tRCD after ACT.
+    TimingTRP,        ///< ACT/REF < tRP after the precharge point.
+    TimingTRAS,       ///< PRE < tRAS after ACT.
+    TimingTRC,        ///< ACT < tRC after previous ACT, same bank.
+    TimingTCCD,       ///< column command < tCCD after previous one.
+    TimingTRRD,       ///< ACT < tRRD after previous ACT, same rank.
+    TimingTWTR,       ///< RD < tWTR after write data end, same rank.
+    TimingTWR,        ///< PRE < tWR after write data end, same bank.
+    TimingTRTP,       ///< PRE < tRTP after RD, same bank.
+    TimingTFAW,       ///< fifth ACT inside a rank's tFAW window.
+    TimingTRFC,       ///< any command to a rank still refreshing.
+    RefreshLate,      ///< inter-refresh gap beyond the postpone bound.
+    DataBusConflict,  ///< data bursts overlap / tRTRS violated.
+    PartitionAccess,  ///< access to a color never assigned to the thread.
+    PartitionAlloc,   ///< frame allocated outside the thread's color set.
+};
+
+/** Number of violation classes. */
+constexpr std::size_t kNumViolations =
+    static_cast<std::size_t>(Violation::PartitionAlloc) + 1;
+
+/** Short stable name of a violation class (stat keys, messages). */
+const char *violationName(Violation v);
+
+/**
+ * Checker configuration.
+ */
+struct ProtocolCheckerParams
+{
+    /** Panic on the first violation (tests, debugging). */
+    bool failFast = false;
+
+    /**
+     * Refreshes a controller may postpone before the cadence check
+     * fires (JEDEC DDR3 allows 8). The checked bound on the gap
+     * between consecutive REFs to one rank is
+     * (refreshPostponeMax + 1) * tREFI.
+     */
+    unsigned refreshPostponeMax = 8;
+};
+
+/**
+ * The checker. One instance observes all channels of a machine.
+ */
+class ProtocolChecker : public CommandObserver, public PartitionObserver
+{
+  public:
+    /**
+     * @param geom Machine geometry (channel/rank/bank counts).
+     * @param timing Timing rule set the commands must respect.
+     * @param num_threads Hardware threads (partition tracking).
+     * @param params Checker tuning.
+     */
+    ProtocolChecker(const DramGeometry &geom, const DramTiming &timing,
+                    unsigned num_threads,
+                    ProtocolCheckerParams params = {});
+
+    /** CommandObserver: validate one command, update shadow state. */
+    void onCommand(const CmdEvent &ev) override;
+
+    /** PartitionObserver: a thread's color set changed. */
+    void onColorSet(ThreadId tid,
+                    const std::vector<unsigned> &colors) override;
+
+    /** PartitionObserver: a frame was allocated / migrated into. */
+    void onFrameAllocated(ThreadId tid, unsigned color) override;
+
+    /**
+     * End-of-run checks that observe the absence of events: verifies
+     * every rank has refreshed recently enough relative to @p now.
+     * Call once after the simulation finished (optional).
+     */
+    void finalize(Cycle now);
+
+    /** Total violations of every class. */
+    std::uint64_t violations() const;
+
+    /** Violations of one class. */
+    std::uint64_t violations(Violation v) const
+    {
+        return counts_[static_cast<std::size_t>(v)].value();
+    }
+
+    /** Commands observed. */
+    std::uint64_t commandsChecked() const
+    {
+        return statCommands.value();
+    }
+
+    /** Description of the most recent violation ("" if none). */
+    const std::string &lastViolation() const { return last_; }
+
+    /** Register all counters on @p g (prefix "check"). */
+    void addStats(StatGroup &g) const;
+
+    /** Human-readable violation summary. */
+    void report(std::ostream &os) const;
+
+    /** Parameters in use. */
+    const ProtocolCheckerParams &params() const { return params_; }
+
+    /** @name Counters. */
+    /// @{
+    StatScalar statCommands;      ///< commands observed.
+    StatScalar statStaleAccesses; ///< accesses to formerly-owned colors.
+    StatScalar statAllocations;   ///< frame allocations observed.
+    /// @}
+
+  private:
+    /** Shadow per-bank state, rebuilt purely from observed commands. */
+    struct ShadowBank
+    {
+        bool open = false;
+        std::uint64_t row = 0;
+        Cycle actReadyTRP = 0;  ///< precharge point + tRP.
+        Cycle actReadyTRC = 0;  ///< last ACT + tRC.
+        Cycle colReadyTRCD = 0; ///< last ACT + tRCD.
+        Cycle preReadyTRAS = 0; ///< last ACT + tRAS.
+        Cycle preReadyTWR = 0;  ///< last write data end + tWR.
+        Cycle preReadyTRTP = 0; ///< last RD + tRTP.
+    };
+
+    /** Shadow per-rank state. */
+    struct ShadowRank
+    {
+        std::array<Cycle, 4> actTimes{};
+        unsigned actPtr = 0;
+        unsigned actFill = 0;
+        Cycle actReadyTRRD = 0;  ///< last ACT in rank + tRRD.
+        Cycle rdReadyTWTR = 0;   ///< last write data end + tWTR.
+        Cycle refreshEndAt = 0;  ///< in-flight REF completes here.
+        Cycle lastRefreshAt = 0; ///< cycle of the last REF.
+        bool refreshedOnce = false;
+    };
+
+    /** Shadow per-channel state. */
+    struct ShadowChannel
+    {
+        Cycle colReadyTCCD = 0;
+        Cycle dataBusFreeAt = 0;
+        int lastDataRank = -1;
+        bool lastDataWrite = false;
+    };
+
+    /** Record a violation of class @p v with description @p what. */
+    void flag(Violation v, const CmdEvent &ev, const std::string &what);
+
+    /** Record a partition violation without a command context. */
+    void flagPartition(Violation v, const std::string &what);
+
+    ShadowBank &bankOf(const CmdEvent &ev);
+    ShadowRank &rankOf(const CmdEvent &ev);
+
+    void checkActivate(const CmdEvent &ev);
+    void checkPrecharge(const CmdEvent &ev);
+    void checkColumn(const CmdEvent &ev, bool is_write);
+    void checkRefresh(const CmdEvent &ev);
+    void checkDataBus(const CmdEvent &ev, bool is_write);
+    void checkPartitionAccess(const CmdEvent &ev);
+
+    DramGeometry geom_;
+    DramTiming timing_;
+    ProtocolCheckerParams params_;
+
+    std::vector<std::vector<std::vector<ShadowBank>>> banks_;
+    std::vector<std::vector<ShadowRank>> ranks_;
+    std::vector<ShadowChannel> channels_;
+
+    /** Per thread: current / cumulative allowed colors ([tid][color]).
+     *  Empty until the first onColorSet for that thread. */
+    std::vector<std::vector<char>> allowedNow_;
+    std::vector<std::vector<char>> everAllowed_;
+
+    std::array<StatScalar, kNumViolations> counts_;
+    std::string last_;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_CHECK_PROTOCOL_CHECK_HH

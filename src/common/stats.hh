@@ -59,7 +59,11 @@ class StatAverage
     double sum() const { return sum_; }
 
     /** Mean, or 0 when empty. */
-    double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
 
     /** Reset. */
     void
@@ -100,7 +104,11 @@ class StatHistogram
     std::uint64_t count() const { return count_; }
 
     /** Mean of all samples. */
-    double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
 
     /** Number of regular buckets. */
     std::size_t bucketCount() const { return buckets_.size(); }

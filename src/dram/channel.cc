@@ -160,12 +160,24 @@ DramChannel::canIssue(DramCmd cmd, unsigned rank_idx, unsigned bank_idx,
 
 Cycle
 DramChannel::issue(DramCmd cmd, unsigned rank_idx, unsigned bank_idx,
-                   std::uint64_t row, Cycle now)
+                   std::uint64_t row, Cycle now, ThreadId tid)
 {
     DBP_ASSERT(canIssue(cmd, rank_idx, bank_idx, row, now),
                "illegal " << dramCmdName(cmd) << " to ch" << id_
                << " rank" << rank_idx << " bank" << bank_idx
                << " row" << row << " at cycle " << now);
+
+    if (observer_) {
+        CmdEvent ev;
+        ev.channel = id_;
+        ev.cmd = cmd;
+        ev.rank = rank_idx;
+        ev.bank = bank_idx;
+        ev.row = row;
+        ev.cycle = now;
+        ev.tid = tid;
+        observer_->onCommand(ev);
+    }
 
     RankState &r = ranks_[rank_idx];
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/observer.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/addr_map.hh"
@@ -67,11 +68,22 @@ class DramChannel
     /**
      * Issue @p cmd at cycle @p now; must be legal (checked).
      *
+     * @param tid Requesting thread (forwarded to the command
+     * observer); kInvalidThread for controller-internal commands
+     * (refresh management, idle row closes).
+     *
      * @return For column commands, the cycle the data burst completes
      * (read data available / write retired); 0 for other commands.
      */
     Cycle issue(DramCmd cmd, unsigned rank, unsigned bank,
-                std::uint64_t row, Cycle now);
+                std::uint64_t row, Cycle now,
+                ThreadId tid = kInvalidThread);
+
+    /**
+     * Attach a command observer (protocol checker); every issued
+     * command is reported to it. Pass nullptr to detach. Not owned.
+     */
+    void setObserver(CommandObserver *observer) { observer_ = observer; }
 
     /** True once rank @p rank's refresh deadline has passed. */
     bool refreshPending(unsigned rank, Cycle now) const;
@@ -130,6 +142,8 @@ class DramChannel
 
     std::vector<RankState> ranks_;
     std::vector<std::vector<BankState>> banks_; ///< [rank][bank].
+
+    CommandObserver *observer_ = nullptr; ///< protocol checker hook.
 
     Cycle nextColCmd_ = 0;     ///< tCCD between column commands.
     Cycle dataBusFreeAt_ = 0;  ///< end of last data burst.

@@ -9,11 +9,14 @@ dramEnergy(const DramChannel &channel, Cycle cycles,
     DramEnergyBreakdown out;
     // Precharge energy is folded into the ACT+PRE pair constant; count
     // pairs by activates (every activate is eventually precharged).
-    out.actPreNj = channel.statActs.value() * params.actPrePj * 1e-3;
-    out.readNj = channel.statReads.value() * params.readPj * 1e-3;
-    out.writeNj = channel.statWrites.value() * params.writePj * 1e-3;
+    auto count = [](const StatScalar &s) {
+        return static_cast<double>(s.value());
+    };
+    out.actPreNj = count(channel.statActs) * params.actPrePj * 1e-3;
+    out.readNj = count(channel.statReads) * params.readPj * 1e-3;
+    out.writeNj = count(channel.statWrites) * params.writePj * 1e-3;
     out.refreshNj =
-        channel.statRefreshes.value() * params.refreshPj * 1e-3;
+        count(channel.statRefreshes) * params.refreshPj * 1e-3;
 
     double seconds = static_cast<double>(cycles) *
         static_cast<double>(channel.timing().tckPs) * 1e-12;

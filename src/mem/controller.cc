@@ -329,12 +329,12 @@ MemoryController::issueFromQueue(std::vector<MemRequest> &queue,
     switch (best_cmd.cmd) {
       case DramCmd::Activate:
         channel_.issue(best_cmd.cmd, req.coord.rank, req.coord.bank,
-                       best_cmd.row, now);
+                       best_cmd.row, now, req.tid);
         req.triggeredAct = true;
         return true;
       case DramCmd::Precharge:
         channel_.issue(best_cmd.cmd, req.coord.rank, req.coord.bank,
-                       best_cmd.row, now);
+                       best_cmd.row, now, req.tid);
         req.triggeredAct = true; // a conflict service, not a hit.
         return true;
       case DramCmd::Read:
@@ -342,7 +342,8 @@ MemoryController::issueFromQueue(std::vector<MemRequest> &queue,
       case DramCmd::Write:
       case DramCmd::WriteAp: {
         Cycle done = channel_.issue(best_cmd.cmd, req.coord.rank,
-                                    req.coord.bank, best_cmd.row, now);
+                                    req.coord.bank, best_cmd.row, now,
+                                    req.tid);
         lastColumnUse_[req.coord.rank * channel_.numBanks() +
                        req.coord.bank] = now;
         row_hit_service = !req.triggeredAct;

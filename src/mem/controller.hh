@@ -128,6 +128,17 @@ class MemoryController : public QueueView
     /** The DRAM channel (tests, energy reporting). */
     const DramChannel &channel() const { return channel_; }
 
+    /**
+     * Attach a command observer (protocol checker) to this
+     * controller's channel; every DRAM command issued on behalf of a
+     * request carries the requesting thread id, controller-internal
+     * commands carry kInvalidThread.
+     */
+    void setCommandObserver(CommandObserver *observer)
+    {
+        channel_.setObserver(observer);
+    }
+
     /** Per-thread counters. */
     const ControllerThreadStats &threadStats(ThreadId tid) const;
 

@@ -39,6 +39,13 @@ OsMemory::idx(ThreadId tid) const
     return static_cast<std::size_t>(tid);
 }
 
+void
+OsMemory::notifyFrame(ThreadId tid, std::uint64_t frame)
+{
+    if (partObserver_ && allocator_.colorAware())
+        partObserver_->onFrameAllocated(tid, map_.colorOfFrame(frame));
+}
+
 Addr
 OsMemory::translate(ThreadId tid, Addr vaddr)
 {
@@ -53,6 +60,7 @@ OsMemory::translate(ThreadId tid, Addr vaddr)
         else
             frame = allocator_.allocateAny();
         tables_[t].map(vpage, frame);
+        notifyFrame(tid, frame);
     } else if (lazyEnabled_[t] && nonconformingCount_[t] > 0 &&
                ++lazyTokens_[t] >= lazyPeriod_) {
         // Lazy migrate-on-touch: a re-accessed page outside the color
@@ -64,6 +72,7 @@ OsMemory::translate(ThreadId tid, Addr vaddr)
             std::uint64_t moved =
                 allocator_.allocate(colorSets_[t], cursors_[t]);
             tables_[t].remap(vpage, moved);
+            notifyFrame(tid, moved);
             allocator_.release(frame);
             pendingMoves_.emplace_back(color,
                                        map_.colorOfFrame(moved));
@@ -119,6 +128,8 @@ OsMemory::setColorSet(ThreadId tid, std::vector<unsigned> colors)
     colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
     colorSets_[t] = std::move(colors);
     cursors_[t] %= colorSets_[t].size();
+    if (partObserver_)
+        partObserver_->onColorSet(tid, colorSets_[t]);
     if (lazyEnabled_[t])
         nonconformingCount_[t] = nonconformingPages(tid);
 }
@@ -176,6 +187,7 @@ OsMemory::migrate(ThreadId tid, std::uint64_t max_pages)
         std::uint64_t new_frame =
             allocator_.allocate(colorSets_[t], cursors_[t]);
         tables_[t].remap(vpage, new_frame);
+        notifyFrame(tid, new_frame);
         allocator_.release(old_frame);
         result.moves.emplace_back(map_.colorOfFrame(old_frame),
                                   map_.colorOfFrame(new_frame));

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/observer.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/addr_map.hh"
@@ -102,13 +103,27 @@ class OsMemory
     /** Total pages migrated so far (stat). */
     StatScalar statMigratedPages;
 
+    /**
+     * Attach a partition observer (protocol checker): it is notified
+     * of every color-set adoption and of the color of every frame
+     * allocated or migrated into. Pass nullptr to detach. Not owned.
+     */
+    void setPartitionObserver(PartitionObserver *observer)
+    {
+        partObserver_ = observer;
+    }
+
   private:
     /** Bounds-check a thread id. */
     std::size_t idx(ThreadId tid) const;
 
+    /** Report a frame grant to the partition observer (if any). */
+    void notifyFrame(ThreadId tid, std::uint64_t frame);
+
     const AddressMap &map_;
     FrameAllocator allocator_;
     std::uint64_t pageBytes_;
+    PartitionObserver *partObserver_ = nullptr;
 
     std::vector<PageTable> tables_;
     std::vector<std::vector<unsigned>> colorSets_;

@@ -78,9 +78,11 @@ CombinedPolicy::splitGroup(const std::vector<unsigned> &members,
     std::vector<unsigned> heavy_colors = colors;
     if (!lights.empty()) {
         auto light_banks = static_cast<unsigned>(std::ceil(
-            dbpParams_.lightBanksPerThread * lights.size()));
+            dbpParams_.lightBanksPerThread *
+            static_cast<double>(lights.size())));
         unsigned cap = std::max(1u, static_cast<unsigned>(
-            dbpParams_.lightShareCap * colors.size()));
+            dbpParams_.lightShareCap *
+            static_cast<double>(colors.size())));
         light_banks = std::clamp(light_banks, 1u, cap);
         while (light_banks > 1 &&
                colors.size() - light_banks < heavies.size())

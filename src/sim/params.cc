@@ -101,6 +101,9 @@ SystemParams::applyConfig(const Config &config)
 
     profileIntervalCpu = config.getUInt("interval", profileIntervalCpu);
 
+    protocolCheck = config.getBool("check", protocolCheck);
+    checkFailFast = config.getBool("check_failfast", checkFailFast);
+
     cacheEnabled = config.getBool("cache", cacheEnabled);
     cache.sizeBytes = config.getUInt("cache_size", cache.sizeBytes);
     cache.associativity = static_cast<unsigned>(

@@ -80,6 +80,21 @@ struct SystemParams
     /** Private cache configuration (when enabled). */
     CacheParams cache;
 
+    /**
+     * Run the DRAM protocol checker alongside the simulation
+     * (config key "check"). Compiled in always; the DBPSIM_CHECK
+     * build option flips the default to on.
+     */
+    bool protocolCheck =
+#ifdef DBPSIM_CHECK
+        true;
+#else
+        false;
+#endif
+
+    /** Panic on the first protocol violation (config "check_failfast"). */
+    bool checkFailFast = false;
+
     /** Construct the evaluation-default parameters. */
     SystemParams();
 

@@ -20,7 +20,16 @@ System::System(const SystemParams &params,
 
     DramTiming timing = params_.timing();
 
+    if (params_.protocolCheck) {
+        ProtocolCheckerParams cpp;
+        cpp.failFast = params_.checkFailFast;
+        checker_ = std::make_unique<ProtocolChecker>(
+            params_.geometry, timing, params_.numCores, cpp);
+    }
+
     os_ = std::make_unique<OsMemory>(map_, params_.numCores);
+    if (checker_)
+        os_->setPartitionObserver(checker_.get());
     profiler_ = std::make_unique<ThreadProfiler>(params_.numCores,
                                                  map_.numColors());
 
@@ -37,6 +46,8 @@ System::System(const SystemParams &params,
         controllers_.push_back(std::make_unique<MemoryController>(
             ch, map_, timing, cparams, scheduler_.get(),
             profiler_.get()));
+        if (checker_)
+            controllers_.back()->setCommandObserver(checker_.get());
         raw_controllers.push_back(controllers_.back().get());
     }
 
@@ -261,6 +272,11 @@ System::dumpStats(std::ostream &os) const
         StatGroup g("part");
         g.addScalar("repartitions", &partMgr_->statRepartitions);
         g.addScalar("pages_migrated", &partMgr_->statPagesMigrated);
+        g.dump(os);
+    }
+    if (checker_) {
+        StatGroup g("check");
+        checker_->addStats(g);
         g.dump(os);
     }
 }

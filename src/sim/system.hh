@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "check/protocol_check.hh"
 #include "core/core.hh"
 #include "dram/addr_map.hh"
 #include "mem/controller.hh"
@@ -76,6 +77,16 @@ class System : public CoreMemoryInterface
     {
         return static_cast<unsigned>(controllers_.size());
     }
+
+    /**
+     * The DRAM protocol checker, or nullptr when params.protocolCheck
+     * is off. Observes every channel and the OS partitioning events.
+     */
+    ProtocolChecker *protocolChecker() { return checker_.get(); }
+    const ProtocolChecker *protocolChecker() const
+    {
+        return checker_.get();
+    }
     Cycle cpuCycle() const { return cpuCycle_; }
     Cycle memCycle() const { return memCycle_; }
     /// @}
@@ -124,6 +135,7 @@ class System : public CoreMemoryInterface
 
     SystemParams params_;
     AddressMap map_;
+    std::unique_ptr<ProtocolChecker> checker_;
     std::unique_ptr<OsMemory> os_;
     std::unique_ptr<ThreadProfiler> profiler_;
     std::unique_ptr<Scheduler> scheduler_;

@@ -65,7 +65,11 @@ struct SyntheticPhase
 struct SyntheticParams
 {
     std::string name = "synthetic";
-    std::vector<SyntheticPhase> phases{SyntheticPhase{}};
+    // Value-initialized rather than list-initialized: the braced
+    // temporary trips GCC's -Wmaybe-uninitialized when the whole
+    // struct is constructed inline at -O2.
+    std::vector<SyntheticPhase> phases =
+        std::vector<SyntheticPhase>(1);
     std::uint64_t seed = 1;
 };
 

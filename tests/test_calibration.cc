@@ -51,8 +51,8 @@ measure(TraceSource &src, int accesses)
     }
     double n = accesses;
     m.mpki = 1000.0 * n / static_cast<double>(instrs);
-    m.writeFrac = writes / n;
-    m.seqFrac = seq / n;
+    m.writeFrac = static_cast<double>(writes) / n;
+    m.seqFrac = static_cast<double>(seq) / n;
     m.pages = pages.size();
     return m;
 }

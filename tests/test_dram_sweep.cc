@@ -67,8 +67,9 @@ TEST_P(TimingSweep, TfawEnforced)
     }
     // Four ACTs are in flight; rank 1 is unaffected.
     EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 1, 0, 1, now));
-    if (now < tm.tFAW)
+    if (now < tm.tFAW) {
         EXPECT_FALSE(ch.canIssue(DramCmd::Activate, 0, 0, 2, now));
+    }
 }
 
 TEST_P(TimingSweep, WriteReadTurnaround)
@@ -199,10 +200,11 @@ TEST(ChannelFuzz, ActivateSpacingHonorsTrc)
             if (ch.canIssue(DramCmd::Precharge, r, b, 0, now))
                 ch.issue(DramCmd::Precharge, r, b, 0, now);
         } else if (ch.canIssue(DramCmd::Activate, r, b, 3, now)) {
-            if (last_act[slot] != kNeverCycle)
+            if (last_act[slot] != kNeverCycle) {
                 EXPECT_GE(now, last_act[slot] + tm.tRC)
                     << "ACT-to-ACT below tRC on rank " << r << " bank "
                     << b;
+            }
             ch.issue(DramCmd::Activate, r, b, 3, now);
             last_act[slot] = now;
         }

@@ -125,7 +125,8 @@ TEST(FrameAllocator, AllocatePropertySweep)
     // from the requested set and never repeat while live.
     std::set<std::uint64_t> live;
     for (int round = 0; round < 50; ++round) {
-        unsigned set_size = 1 + rng.nextBelow(6);
+        auto set_size =
+            static_cast<unsigned>(1 + rng.nextBelow(6));
         std::vector<unsigned> colors;
         for (unsigned i = 0; i < set_size; ++i)
             colors.push_back(
