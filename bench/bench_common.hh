@@ -1,28 +1,28 @@
 /**
  * @file
- * Shared plumbing for the figure/table benches: default run
+ * Shared plumbing for the figure/table campaigns: default run
  * configuration (scaled-down but shape-preserving relative to the
- * paper's billion-instruction runs), header printing, and gmean
- * helpers. Every bench accepts key=value overrides (see README).
+ * paper's billion-instruction runs), the standard mix subsets, and
+ * small metric helpers. Every campaign accepts key=value overrides
+ * through the dbpsim_bench driver (see README).
  */
 
 #ifndef DBPSIM_BENCH_BENCH_COMMON_HH
 #define DBPSIM_BENCH_BENCH_COMMON_HH
 
-#include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/config.hh"
 #include "common/table.hh"
-#include "sim/experiment.hh"
+#include "sim/campaign.hh"
 #include "trace/mix.hh"
 
 namespace dbpsim {
 namespace bench {
 
 /**
- * Build the default evaluation RunConfig with command-line overrides.
+ * Build the default evaluation RunConfig from parsed overrides.
  *
  * Defaults: the paper's 8-core 2x2x8 DDR3 machine; 2.5 M CPU cycles of
  * warm-up (long enough for dynamic partitions to converge and the
@@ -31,10 +31,8 @@ namespace bench {
  * shorter runs so DBP repartitions several times per run).
  */
 inline RunConfig
-makeRunConfig(int argc, char **argv, Config *out_cfg = nullptr)
+makeRunConfig(const Config &cfg)
 {
-    Config cfg;
-    cfg.parseArgs(argc, argv);
     RunConfig rc;
     rc.base.profileIntervalCpu = 500'000;
     // ATLAS's long quantum scales with the run length like the
@@ -45,21 +43,18 @@ makeRunConfig(int argc, char **argv, Config *out_cfg = nullptr)
     rc.warmupCpu = cfg.getUInt("warmup", 2'500'000);
     rc.measureCpu = cfg.getUInt("measure", 4'000'000);
     rc.seedBase = cfg.getUInt("seed", 42);
-    if (out_cfg)
-        *out_cfg = cfg;
     return rc;
 }
 
-/** Print the bench banner. */
-inline void
-printHeader(const std::string &id, const std::string &title,
-            const RunConfig &rc)
+/** Command-line convenience wrapper (examples). */
+inline RunConfig
+makeRunConfig(int argc, char **argv, Config *out_cfg = nullptr)
 {
-    std::cout << "== " << id << ": " << title << " ==\n"
-              << "machine: " << rc.base.summary() << "\n"
-              << "window: " << rc.warmupCpu << " warmup + "
-              << rc.measureCpu << " measured CPU cycles, interval "
-              << rc.base.profileIntervalCpu << "\n\n";
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    if (out_cfg)
+        *out_cfg = cfg;
+    return makeRunConfig(cfg);
 }
 
 /** The mixes the full figures sweep. */
@@ -77,92 +72,20 @@ sensitivityMixes()
             mixByName("W10")};
 }
 
-/** Results of one mix under several schemes. */
-struct SweepRow
-{
-    std::string mix;
-    std::vector<MixResult> results; ///< parallel to the scheme list.
-};
-
-/** Run every mix under every scheme (alone baselines cached). */
-inline std::vector<SweepRow>
-runSweep(ExperimentRunner &runner, const std::vector<WorkloadMix> &mixes,
-         const std::vector<Scheme> &schemes)
-{
-    std::vector<SweepRow> rows;
-    for (const auto &mix : mixes) {
-        SweepRow row;
-        row.mix = mix.name;
-        for (const auto &scheme : schemes) {
-            std::cerr << "  [" << mix.name << " / " << scheme.name
-                      << "]\n";
-            row.results.push_back(runner.runMix(mix, scheme));
-        }
-        rows.push_back(std::move(row));
-    }
-    return rows;
-}
-
-/**
- * Print one metric across the sweep: one row per mix, one column per
- * scheme, plus a geometric-mean summary row.
- */
-inline void
-printMetric(const std::vector<SweepRow> &rows,
-            const std::vector<Scheme> &schemes,
-            double (*metric)(const MixResult &),
-            const std::string &metric_name)
-{
-    std::vector<std::string> headers{"workload"};
-    for (const auto &s : schemes)
-        headers.push_back(s.name);
-    TextTable table(headers);
-
-    std::vector<std::vector<double>> columns(schemes.size());
-    for (const auto &row : rows) {
-        table.beginRow();
-        table.cell(row.mix);
-        for (std::size_t s = 0; s < schemes.size(); ++s) {
-            double v = metric(row.results[s]);
-            columns[s].push_back(v);
-            table.cell(v, 3);
-        }
-    }
-    table.beginRow();
-    table.cell("gmean");
-    for (std::size_t s = 0; s < schemes.size(); ++s)
-        table.cell(geomean(columns[s]), 3);
-
-    std::cout << metric_name << ":\n";
-    table.print(std::cout);
-    std::cout << '\n';
-}
-
-/** Metric selectors for printMetric. */
-inline double
-weightedSpeedupOf(const MixResult &r)
-{
-    return r.metrics.weightedSpeedup;
-}
-
-inline double
-maxSlowdownOf(const MixResult &r)
-{
-    return r.metrics.maxSlowdown;
-}
-
-inline double
-harmonicSpeedupOf(const MixResult &r)
-{
-    return r.metrics.harmonicSpeedup;
-}
-
 /** Percent improvement of scheme b over scheme a for a metric where
  *  higher is better. */
 inline double
 pctGain(double a, double b)
 {
     return 100.0 * (b - a) / a;
+}
+
+/** Percent reduction of b relative to a (fairness-style gain for
+ *  metrics where lower is better). */
+inline double
+pctDrop(double a, double b)
+{
+    return 100.0 * (a - b) / a;
 }
 
 } // namespace bench

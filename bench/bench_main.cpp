@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The dbpsim_bench driver: one binary for every figure/table campaign.
+ *
+ *   dbpsim_bench --list
+ *   dbpsim_bench fig4 fig5
+ *   dbpsim_bench --all --jobs=8
+ *   dbpsim_bench fig4 --serial seed=7 warmup=1000000
+ *
+ * Runs the selected campaigns, prints their tables, and writes one
+ * result document per campaign to <out>/<name>.json. The "result
+ * digest" printed per campaign hashes only the deterministic sections
+ * (jobs + summary), so comparing a --serial run against a --jobs=N
+ * run is a one-line diff even though wall-clock fields differ.
+ *
+ * Alone-run baselines persist to <out>/alone_cache.json keyed by
+ * (application, hardware-config hash); a second invocation on the
+ * same configuration reloads them instead of re-simulating.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/log.hh"
+
+namespace {
+
+using namespace dbpsim;
+using namespace dbpsim::bench;
+
+void
+listCampaigns(std::ostream &os)
+{
+    os << "campaigns:\n";
+    for (const CampaignSpec *s : campaignRegistry())
+        os << "  " << s->name << "\t" << s->title << "\n";
+}
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: dbpsim_bench [options] [campaign...] [key=value...]\n"
+          "  --list       list registered campaigns\n"
+          "  --all        run every campaign\n"
+          "  --jobs=N     worker threads (default: hardware)\n"
+          "  --serial     single-threaded reference mode (= --jobs=1)\n"
+          "  --out=DIR    result directory (default: results)\n"
+          "  --no-cache   don't load/save the alone-run baseline cache\n"
+          "  --quiet      suppress per-job progress lines\n"
+          "  key=value    configuration overrides (seed=, warmup=, ...)\n";
+}
+
+/** Digest of the deterministic result sections (jobs + summary). */
+std::string
+resultDigest(const Json &doc)
+{
+    std::uint64_t h = hashString(doc.at("jobs").dump() +
+                                 doc.at("summary").dump());
+    std::ostringstream os;
+    os << "0x" << std::hex << h;
+    return os.str();
+}
+
+/** Total protocol-checker violations across a campaign's jobs. */
+std::int64_t
+totalViolations(const Json &doc)
+{
+    std::int64_t total = 0;
+    for (const auto &m : doc.at("jobs").members())
+        if (const Json *v = m.second.find("check_violations"))
+            if (v->asInt() > 0)
+                total += v->asInt();
+    return total;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool all = false, list = false, use_cache = true;
+    unsigned jobs = 0; // 0 = hardware concurrency
+    bool progress = true;
+    std::string out_dir = "results";
+    std::vector<std::string> names;
+    Config cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--all") {
+            all = true;
+        } else if (arg == "--serial") {
+            jobs = 1;
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            jobs = static_cast<unsigned>(
+                parseIntString(arg.substr(7), "--jobs"));
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_dir = arg.substr(6);
+        } else if (arg == "--no-cache") {
+            use_cache = false;
+        } else if (arg == "--quiet") {
+            progress = false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            listCampaigns(std::cout);
+            return 0;
+        } else if (arg.rfind("--", 0) != 0 &&
+                   arg.find('=') != std::string::npos) {
+            cfg.parseToken(arg);
+        } else if (findCampaign(arg)) {
+            names.push_back(arg);
+        } else {
+            std::cerr << "dbpsim_bench: unknown argument '" << arg
+                      << "'\n\n";
+            usage(std::cerr);
+            listCampaigns(std::cerr);
+            return 2;
+        }
+    }
+
+    if (list) {
+        listCampaigns(std::cout);
+        return 0;
+    }
+    if (!all && names.empty()) {
+        usage(std::cerr);
+        listCampaigns(std::cerr);
+        return 2;
+    }
+
+    std::vector<const CampaignSpec *> to_run;
+    if (all) {
+        to_run = campaignRegistry();
+    } else {
+        for (const auto &name : names)
+            to_run.push_back(findCampaign(name));
+    }
+
+    RunConfig rc = makeRunConfig(cfg);
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+        std::cerr << "dbpsim_bench: cannot create '" << out_dir
+                  << "': " << ec.message() << "\n";
+        return 2;
+    }
+
+    auto baselines = std::make_shared<AloneBaselineCache>();
+    const std::string cache_path = out_dir + "/alone_cache.json";
+    if (use_cache && baselines->load(cache_path))
+        std::cerr << "loaded " << baselines->size()
+                  << " alone baseline(s) from " << cache_path << "\n";
+
+    int exit_code = 0;
+    for (const CampaignSpec *spec : to_run) {
+        std::cout << "== " << spec->name << ": " << spec->title
+                  << " ==\n"
+                  << "machine: " << rc.base.summary() << "\n"
+                  << "window: " << rc.warmupCpu << " warmup + "
+                  << rc.measureCpu << " measured CPU cycles, interval "
+                  << rc.base.profileIntervalCpu << "\n\n";
+
+        CampaignOptions opts;
+        opts.jobs = jobs;
+        opts.progress = progress;
+        Json doc = runCampaign(*spec, rc, baselines, opts, std::cout);
+
+        std::int64_t violations = totalViolations(doc);
+        if (violations > 0) {
+            std::cerr << "dbpsim_bench: " << spec->name << ": "
+                      << violations << " protocol violation(s)\n";
+            exit_code = 1;
+        }
+
+        const std::string path = out_dir + "/" + spec->name + ".json";
+        std::ofstream file(path);
+        if (!file) {
+            std::cerr << "dbpsim_bench: cannot write " << path << "\n";
+            exit_code = 2;
+        } else {
+            doc.write(file, 2);
+            file << "\n";
+        }
+
+        std::cout << "result digest: " << resultDigest(doc) << "\n"
+                  << "results: " << path << "\n\n";
+    }
+
+    if (use_cache && !baselines->save(cache_path))
+        std::cerr << "dbpsim_bench: cannot write " << cache_path << "\n";
+
+    return exit_code;
+}

@@ -7,51 +7,78 @@
  * thread has parallelism to spare and the schemes converge.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
+
+namespace {
 
 using namespace dbpsim;
 using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+const std::vector<unsigned> &
+banksPerRankSweep()
 {
-    RunConfig rc = makeRunConfig(argc, argv);
-    printHeader("fig10", "sensitivity to bank count", rc);
+    static const std::vector<unsigned> v = {4, 8, 16};
+    return v;
+}
 
-    std::vector<Scheme> schemes = {schemeByName("FR-FCFS"),
-                                   schemeByName("UBP"),
-                                   schemeByName("DBP")};
+std::vector<Scheme>
+schemes()
+{
+    return {schemeByName("FR-FCFS"), schemeByName("UBP"),
+            schemeByName("DBP")};
+}
+
+RunConfig
+configFor(const RunConfig &base, unsigned banks_per_rank)
+{
+    RunConfig cfg = base;
+    cfg.base.geometry.banksPerRank = banks_per_rank;
+    return cfg;
+}
+
+std::string
+prefixFor(const RunConfig &cfg)
+{
+    return std::to_string(cfg.base.geometry.totalBanks()) + "bk/";
+}
+
+void
+plan(CampaignPlan &p, CampaignContext &ctx)
+{
+    for (unsigned bpr : banksPerRankSweep()) {
+        RunConfig cfg = configFor(ctx.config(), bpr);
+        planMixSweep(p, cfg, prefixFor(cfg), sensitivityMixes(),
+                     schemes());
+    }
+}
+
+void
+render(CampaignRun &run, std::ostream &os)
+{
     TextTable table({"banks", "WS FR-FCFS", "WS UBP", "WS DBP",
                      "MS FR-FCFS", "MS UBP", "MS DBP"});
-
-    for (unsigned banks_per_rank : {4u, 8u, 16u}) {
-        RunConfig cfg = rc;
-        cfg.base.geometry.banksPerRank = banks_per_rank;
-        ExperimentRunner runner(cfg);
-
-        std::vector<std::vector<double>> ws(schemes.size());
-        std::vector<std::vector<double>> ms(schemes.size());
-        for (const auto &mix : sensitivityMixes()) {
-            for (std::size_t s = 0; s < schemes.size(); ++s) {
-                MixResult r = runner.runMix(mix, schemes[s]);
-                ws[s].push_back(r.metrics.weightedSpeedup);
-                ms[s].push_back(r.metrics.maxSlowdown);
-            }
-        }
+    for (unsigned bpr : banksPerRankSweep()) {
+        RunConfig cfg = configFor(run.config(), bpr);
+        std::string prefix = prefixFor(cfg);
         table.beginRow();
         table.cell(cfg.base.geometry.totalBanks());
-        for (std::size_t s = 0; s < schemes.size(); ++s)
-            table.cell(geomean(ws[s]), 3);
-        for (std::size_t s = 0; s < schemes.size(); ++s)
-            table.cell(geomean(ms[s]), 3);
-        std::cerr << "  [" << cfg.base.geometry.totalBanks()
-                  << " banks done]\n";
+        for (const char *field : {"ws", "ms"})
+            for (const auto &s : schemes())
+                table.cell(geomean(sweepColumn(run, prefix,
+                                               sensitivityMixes(),
+                                               s.name, field)),
+                           3);
     }
-    table.print(std::cout);
-
-    std::cout << "\nExpected shape: DBP's edge over UBP largest at 16"
-                 " banks, shrinking at 64.\n";
-    return 0;
+    table.print(os);
 }
+
+const CampaignRegistrar reg({
+    "fig10",
+    "sensitivity to bank count",
+    "Expected shape: DBP's edge over UBP largest at 16 banks, "
+    "shrinking at 64.",
+    plan,
+    render,
+});
+
+} // namespace

@@ -8,51 +8,72 @@
  * instructions).
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
+
+namespace {
 
 using namespace dbpsim;
 using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+const std::vector<Cycle> &
+intervals()
 {
-    RunConfig rc = makeRunConfig(argc, argv);
-    printHeader("fig11", "sensitivity to repartitioning interval", rc);
+    static const std::vector<Cycle> v = {125'000, 250'000, 500'000,
+                                         1'000'000, 2'000'000};
+    return v;
+}
 
-    Scheme dbp = schemeByName("DBP");
+std::string
+prefixFor(Cycle interval)
+{
+    return std::to_string(interval) + "/";
+}
+
+void
+plan(CampaignPlan &p, CampaignContext &ctx)
+{
+    for (Cycle interval : intervals()) {
+        RunConfig cfg = ctx.config();
+        cfg.base.profileIntervalCpu = interval;
+        planMixSweep(p, cfg, prefixFor(interval), sensitivityMixes(),
+                     {schemeByName("DBP")});
+    }
+}
+
+void
+render(CampaignRun &run, std::ostream &os)
+{
     TextTable table({"interval (cpu cycles)", "gmean WS", "gmean MS",
                      "repartitions", "pages migrated"});
-
-    for (Cycle interval :
-         {125'000ULL, 250'000ULL, 500'000ULL, 1'000'000ULL,
-          2'000'000ULL}) {
-        RunConfig cfg = rc;
-        cfg.base.profileIntervalCpu = interval;
-        ExperimentRunner runner(cfg);
-
-        std::vector<double> ws, ms;
-        std::uint64_t reparts = 0, migrated = 0;
+    for (Cycle interval : intervals()) {
+        std::string prefix = prefixFor(interval);
+        double reparts = 0, migrated = 0;
         for (const auto &mix : sensitivityMixes()) {
-            MixResult r = runner.runMix(mix, dbp);
-            ws.push_back(r.metrics.weightedSpeedup);
-            ms.push_back(r.metrics.maxSlowdown);
-            reparts += r.repartitions;
-            migrated += r.pagesMigrated;
+            const std::string k = sweepKey(prefix, mix.name, "DBP");
+            reparts += run.num(k, "repartitions");
+            migrated += run.num(k, "pages_migrated");
         }
         table.beginRow();
         table.cell(static_cast<std::uint64_t>(interval));
-        table.cell(geomean(ws), 3);
-        table.cell(geomean(ms), 3);
-        table.cell(reparts);
-        table.cell(migrated);
-        std::cerr << "  [interval " << interval << " done]\n";
+        table.cell(geomean(sweepColumn(run, prefix, sensitivityMixes(),
+                                       "DBP", "ws")),
+                   3);
+        table.cell(geomean(sweepColumn(run, prefix, sensitivityMixes(),
+                                       "DBP", "ms")),
+                   3);
+        table.cell(static_cast<std::uint64_t>(reparts));
+        table.cell(static_cast<std::uint64_t>(migrated));
     }
-    table.print(std::cout);
-
-    std::cout << "\nExpected shape: WS roughly flat with a mild peak at"
-                 " mid intervals; migration volume falls as the\n"
-                 "interval grows.\n";
-    return 0;
+    table.print(os);
 }
+
+const CampaignRegistrar reg({
+    "fig11",
+    "sensitivity to repartitioning interval",
+    "Expected shape: WS roughly flat with a mild peak at mid "
+    "intervals; migration volume falls as the\ninterval grows.",
+    plan,
+    render,
+});
+
+} // namespace

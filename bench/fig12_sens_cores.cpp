@@ -7,45 +7,75 @@
  * widens DBP's advantage.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
+
+namespace {
 
 using namespace dbpsim;
 using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+const std::vector<unsigned> &
+coreCounts()
 {
-    RunConfig rc = makeRunConfig(argc, argv);
-    printHeader("fig12", "sensitivity to core count", rc);
+    static const std::vector<unsigned> v = {4, 8, 16};
+    return v;
+}
 
-    std::vector<Scheme> schemes = {schemeByName("FR-FCFS"),
-                                   schemeByName("UBP"),
-                                   schemeByName("DBP")};
+std::vector<Scheme>
+schemes()
+{
+    return {schemeByName("FR-FCFS"), schemeByName("UBP"),
+            schemeByName("DBP")};
+}
+
+std::vector<WorkloadMix>
+mixesFor(unsigned cores)
+{
+    std::vector<WorkloadMix> out;
+    for (const auto &base_mix : sensitivityMixes())
+        out.push_back(scaleMix(base_mix, cores));
+    return out;
+}
+
+std::string
+prefixFor(unsigned cores)
+{
+    return std::to_string(cores) + "c/";
+}
+
+void
+plan(CampaignPlan &p, CampaignContext &ctx)
+{
+    for (unsigned cores : coreCounts())
+        planMixSweep(p, ctx.config(), prefixFor(cores), mixesFor(cores),
+                     schemes());
+}
+
+void
+render(CampaignRun &run, std::ostream &os)
+{
     TextTable table({"cores", "WS FR-FCFS", "WS UBP", "WS DBP",
                      "MS FR-FCFS", "MS UBP", "MS DBP"});
-
-    for (unsigned cores : {4u, 8u, 16u}) {
-        ExperimentRunner runner(rc);
-        std::vector<std::vector<double>> ws(schemes.size());
-        std::vector<std::vector<double>> ms(schemes.size());
-        for (const auto &base_mix : sensitivityMixes()) {
-            WorkloadMix mix = scaleMix(base_mix, cores);
-            for (std::size_t s = 0; s < schemes.size(); ++s) {
-                MixResult r = runner.runMix(mix, schemes[s]);
-                ws[s].push_back(r.metrics.weightedSpeedup);
-                ms[s].push_back(r.metrics.maxSlowdown);
-            }
-        }
+    for (unsigned cores : coreCounts()) {
+        std::vector<WorkloadMix> mixes = mixesFor(cores);
         table.beginRow();
         table.cell(cores);
-        for (std::size_t s = 0; s < schemes.size(); ++s)
-            table.cell(geomean(ws[s]), 3);
-        for (std::size_t s = 0; s < schemes.size(); ++s)
-            table.cell(geomean(ms[s]), 3);
-        std::cerr << "  [" << cores << " cores done]\n";
+        for (const char *field : {"ws", "ms"})
+            for (const auto &s : schemes())
+                table.cell(geomean(sweepColumn(run, prefixFor(cores),
+                                               mixes, s.name, field)),
+                           3);
     }
-    table.print(std::cout);
-    return 0;
+    table.print(os);
 }
+
+const CampaignRegistrar reg({
+    "fig12",
+    "sensitivity to core count",
+    "Expected shape: DBP's edge over UBP grows with core count as the "
+    "equal share shrinks.",
+    plan,
+    render,
+});
+
+} // namespace

@@ -7,53 +7,76 @@
  * works at any channel count.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
+
+namespace {
 
 using namespace dbpsim;
 using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+struct Geo
 {
-    RunConfig rc = makeRunConfig(argc, argv);
-    printHeader("fig13", "sensitivity to channel count", rc);
+    unsigned channels, ranks, banks;
+};
 
-    std::vector<Scheme> schemes = {schemeByName("FR-FCFS"),
-                                   schemeByName("DBP"),
-                                   schemeByName("MCP")};
-    TextTable table({"channels", "WS FR-FCFS", "WS DBP", "WS MCP",
-                     "MS FR-FCFS", "MS DBP", "MS MCP"});
+const std::vector<Geo> &
+geometries()
+{
+    static const std::vector<Geo> v = {{1, 2, 16}, {2, 2, 8}, {4, 2, 4}};
+    return v;
+}
 
-    struct Geo
-    {
-        unsigned channels, ranks, banks;
-    };
-    for (Geo g : {Geo{1, 2, 16}, Geo{2, 2, 8}, Geo{4, 2, 4}}) {
-        RunConfig cfg = rc;
+std::vector<Scheme>
+schemes()
+{
+    return {schemeByName("FR-FCFS"), schemeByName("DBP"),
+            schemeByName("MCP")};
+}
+
+std::string
+prefixFor(const Geo &g)
+{
+    return std::to_string(g.channels) + "ch/";
+}
+
+void
+plan(CampaignPlan &p, CampaignContext &ctx)
+{
+    for (const Geo &g : geometries()) {
+        RunConfig cfg = ctx.config();
         cfg.base.geometry.channels = g.channels;
         cfg.base.geometry.ranksPerChannel = g.ranks;
         cfg.base.geometry.banksPerRank = g.banks;
-        ExperimentRunner runner(cfg);
+        planMixSweep(p, cfg, prefixFor(g), sensitivityMixes(),
+                     schemes());
+    }
+}
 
-        std::vector<std::vector<double>> ws(schemes.size());
-        std::vector<std::vector<double>> ms(schemes.size());
-        for (const auto &mix : sensitivityMixes()) {
-            for (std::size_t s = 0; s < schemes.size(); ++s) {
-                MixResult r = runner.runMix(mix, schemes[s]);
-                ws[s].push_back(r.metrics.weightedSpeedup);
-                ms[s].push_back(r.metrics.maxSlowdown);
-            }
-        }
+void
+render(CampaignRun &run, std::ostream &os)
+{
+    TextTable table({"channels", "WS FR-FCFS", "WS DBP", "WS MCP",
+                     "MS FR-FCFS", "MS DBP", "MS MCP"});
+    for (const Geo &g : geometries()) {
         table.beginRow();
         table.cell(g.channels);
-        for (std::size_t s = 0; s < schemes.size(); ++s)
-            table.cell(geomean(ws[s]), 3);
-        for (std::size_t s = 0; s < schemes.size(); ++s)
-            table.cell(geomean(ms[s]), 3);
-        std::cerr << "  [" << g.channels << " channels done]\n";
+        for (const char *field : {"ws", "ms"})
+            for (const auto &s : schemes())
+                table.cell(geomean(sweepColumn(run, prefixFor(g),
+                                               sensitivityMixes(),
+                                               s.name, field)),
+                           3);
     }
-    table.print(std::cout);
-    return 0;
+    table.print(os);
 }
+
+const CampaignRegistrar reg({
+    "fig13",
+    "sensitivity to channel count",
+    "Expected shape: DBP helps at every channel count; MCP only "
+    "separates threads once there are >= 2 channels.",
+    plan,
+    render,
+});
+
+} // namespace

@@ -8,18 +8,17 @@
  * flat demand estimate (ignore measured BLP).
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
+
+namespace {
 
 using namespace dbpsim;
 using namespace dbpsim::bench;
 
-namespace {
-
 struct Variant
 {
     std::string name;
+    std::string prefix;
     void (*tweak)(SystemParams &);
 };
 
@@ -61,49 +60,62 @@ vFlatDemand(SystemParams &p)
     p.dbp.flatDemand = true;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+const std::vector<Variant> &
+variants()
 {
-    RunConfig rc = makeRunConfig(argc, argv);
-    printHeader("fig14", "DBP design ablations", rc);
-
-    const std::vector<Variant> variants = {
-        {"full DBP", vFull},
-        {"no light grouping", vNoLightGroup},
-        {"hysteresis=4", vStrongHysteresis},
-        {"no migration", vNoMigration},
-        {"free migration", vFreeMigration},
-        {"flat demand", vFlatDemand},
+    static const std::vector<Variant> v = {
+        {"full DBP", "full/", vFull},
+        {"no light grouping", "nolight/", vNoLightGroup},
+        {"hysteresis=4", "hyst4/", vStrongHysteresis},
+        {"no migration", "nomig/", vNoMigration},
+        {"free migration", "freemig/", vFreeMigration},
+        {"flat demand", "flat/", vFlatDemand},
     };
+    return v;
+}
 
-    Scheme dbp = schemeByName("DBP");
+void
+plan(CampaignPlan &p, CampaignContext &ctx)
+{
+    for (const auto &v : variants()) {
+        RunConfig cfg = ctx.config();
+        v.tweak(cfg.base);
+        planMixSweep(p, cfg, v.prefix, sensitivityMixes(),
+                     {schemeByName("DBP")});
+    }
+}
+
+void
+render(CampaignRun &run, std::ostream &os)
+{
     TextTable table({"variant", "gmean WS", "gmean MS",
                      "pages migrated"});
-    for (const auto &v : variants) {
-        RunConfig cfg = rc;
-        v.tweak(cfg.base);
-        ExperimentRunner runner(cfg);
-        std::vector<double> ws, ms;
-        std::uint64_t migrated = 0;
-        for (const auto &mix : sensitivityMixes()) {
-            MixResult r = runner.runMix(mix, dbp);
-            ws.push_back(r.metrics.weightedSpeedup);
-            ms.push_back(r.metrics.maxSlowdown);
-            migrated += r.pagesMigrated;
-        }
+    for (const auto &v : variants()) {
+        double migrated = 0;
+        for (const auto &mix : sensitivityMixes())
+            migrated += run.num(sweepKey(v.prefix, mix.name, "DBP"),
+                                "pages_migrated");
         table.beginRow();
         table.cell(v.name);
-        table.cell(geomean(ws), 3);
-        table.cell(geomean(ms), 3);
-        table.cell(migrated);
-        std::cerr << "  [" << v.name << " done]\n";
+        table.cell(geomean(sweepColumn(run, v.prefix, sensitivityMixes(),
+                                       "DBP", "ws")),
+                   3);
+        table.cell(geomean(sweepColumn(run, v.prefix, sensitivityMixes(),
+                                       "DBP", "ms")),
+                   3);
+        table.cell(static_cast<std::uint64_t>(migrated));
     }
-    table.print(std::cout);
-
-    std::cout << "\nExpected shape: full DBP at or near the best WS/MS;"
-                 " flat demand loses the BLP compensation; free\n"
-                 "migration bounds what the cost model forfeits.\n";
-    return 0;
+    table.print(os);
 }
+
+const CampaignRegistrar reg({
+    "fig14",
+    "DBP design ablations",
+    "Expected shape: full DBP at or near the best WS/MS; flat demand "
+    "loses the BLP compensation; free\nmigration bounds what the cost "
+    "model forfeits.",
+    plan,
+    render,
+});
+
+} // namespace

@@ -7,48 +7,79 @@
  * cell should be a combination, not a lone mechanism.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
+
+namespace {
 
 using namespace dbpsim;
 using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+const std::vector<std::string> &
+scheds()
 {
-    RunConfig rc = makeRunConfig(argc, argv);
-    printHeader("fig15",
-                "scheduler x partition landscape (gmean WS)", rc);
+    static const std::vector<std::string> v = {"fcfs", "fr-fcfs",
+                                               "par-bs", "atlas", "tcm"};
+    return v;
+}
 
-    const std::vector<std::string> scheds = {"fcfs", "fr-fcfs",
-                                             "par-bs", "atlas", "tcm"};
-    const std::vector<std::string> parts = {"none", "ubp", "dbp"};
+const std::vector<std::string> &
+parts()
+{
+    static const std::vector<std::string> v = {"none", "ubp", "dbp"};
+    return v;
+}
 
-    ExperimentRunner runner(rc);
+std::vector<Scheme>
+schemes()
+{
+    std::vector<Scheme> out;
+    for (const auto &sched : scheds())
+        for (const auto &part : parts())
+            out.push_back(Scheme{sched + "+" + part, sched, part});
+    return out;
+}
+
+void
+plan(CampaignPlan &p, CampaignContext &)
+{
+    planMixSweep(p, sensitivityMixes(), schemes());
+}
+
+void
+render(CampaignRun &run, std::ostream &os)
+{
     TextTable ws_table({"scheduler", "none", "ubp", "dbp"});
     TextTable ms_table({"scheduler", "none", "ubp", "dbp"});
-    for (const auto &sched : scheds) {
+    for (const auto &sched : scheds()) {
         ws_table.beginRow();
         ws_table.cell(sched);
         ms_table.beginRow();
         ms_table.cell(sched);
-        for (const auto &part : parts) {
-            Scheme scheme{sched + "+" + part, sched, part};
-            std::vector<double> ws, ms;
-            for (const auto &mix : sensitivityMixes()) {
-                MixResult r = runner.runMix(mix, scheme);
-                ws.push_back(r.metrics.weightedSpeedup);
-                ms.push_back(r.metrics.maxSlowdown);
-            }
-            ws_table.cell(geomean(ws), 3);
-            ms_table.cell(geomean(ms), 3);
+        for (const auto &part : parts()) {
+            std::string scheme = sched + "+" + part;
+            ws_table.cell(geomean(sweepColumn(run, "",
+                                              sensitivityMixes(),
+                                              scheme, "ws")),
+                          3);
+            ms_table.cell(geomean(sweepColumn(run, "",
+                                              sensitivityMixes(),
+                                              scheme, "ms")),
+                          3);
         }
-        std::cerr << "  [" << sched << " done]\n";
     }
-    std::cout << "weighted speedup:\n";
-    ws_table.print(std::cout);
-    std::cout << "\nmaximum slowdown (lower = fairer):\n";
-    ms_table.print(std::cout);
-    return 0;
+    os << "weighted speedup:\n";
+    ws_table.print(os);
+    os << "\nmaximum slowdown (lower = fairer):\n";
+    ms_table.print(os);
 }
+
+const CampaignRegistrar reg({
+    "fig15",
+    "scheduler x partition landscape (gmean WS)",
+    "Expected shape: the dbp column beats none/ubp for every "
+    "scheduler; the best cell is a combination.",
+    plan,
+    render,
+});
+
+} // namespace

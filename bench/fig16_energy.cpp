@@ -7,68 +7,115 @@
  * averaged over the sensitivity mixes.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 #include "dram/energy.hh"
 #include "sim/system.hh"
 
+namespace {
+
 using namespace dbpsim;
 using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+std::vector<Scheme>
+schemes()
 {
-    RunConfig rc = makeRunConfig(argc, argv);
-    printHeader("fig16", "DRAM activity and energy per scheme", rc);
+    return {schemeByName("FR-FCFS"), schemeByName("UBP"),
+            schemeByName("DBP"), schemeByName("DBP-TCM")};
+}
 
-    const std::vector<Scheme> schemes = {
-        schemeByName("FR-FCFS"), schemeByName("UBP"),
-        schemeByName("DBP"), schemeByName("DBP-TCM")};
+Json
+runEnergyJob(CampaignContext &ctx, const WorkloadMix &mix,
+             const Scheme &scheme)
+{
+    const RunConfig &rc = ctx.config();
+    SystemParams params = applyScheme(rc.base, scheme);
+    params.numCores = static_cast<unsigned>(mix.apps.size());
+    auto owned = buildMixSources(
+        mix, jobSeed(rc.seedBase, mix.name, scheme.name));
+    std::vector<TraceSource *> sources;
+    for (auto &s : owned)
+        sources.push_back(s.get());
+    System sys(params, sources);
+    sys.run(rc.warmupCpu + rc.measureCpu);
 
+    double acts = 0, reqs = 0;
+    DramEnergyBreakdown sum;
+    for (unsigned c = 0; c < sys.numControllers(); ++c) {
+        const DramChannel &ch = sys.controllerAt(c).channel();
+        acts += static_cast<double>(ch.statActs.value());
+        reqs += static_cast<double>(ch.statReads.value() +
+                                    ch.statWrites.value());
+        DramEnergyBreakdown e = dramEnergy(ch, sys.memCycle());
+        sum.actPreNj += e.actPreNj;
+        sum.readNj += e.readNj;
+        sum.writeNj += e.writeNj;
+        sum.refreshNj += e.refreshNj;
+        sum.backgroundNj += e.backgroundNj;
+    }
+
+    Json j = Json::object();
+    j.set("acts", acts);
+    j.set("requests", reqs);
+    j.set("act_pre_nj", sum.actPreNj);
+    j.set("read_nj", sum.readNj);
+    j.set("write_nj", sum.writeNj);
+    j.set("refresh_nj", sum.refreshNj);
+    j.set("background_nj", sum.backgroundNj);
+    j.set("total_nj", sum.totalNj());
+    return j;
+}
+
+void
+plan(CampaignPlan &p, CampaignContext &)
+{
+    for (const auto &mix : sensitivityMixes()) {
+        for (const auto &scheme : schemes()) {
+            p.add(sweepKey("", mix.name, scheme.name),
+                  [mix, scheme](CampaignContext &ctx) {
+                      return runEnergyJob(ctx, mix, scheme);
+                  });
+        }
+    }
+}
+
+void
+render(CampaignRun &run, std::ostream &os)
+{
     TextTable table({"scheme", "ACT per kilo-request", "act+pre (mJ)",
                      "rd+wr (mJ)", "refresh (mJ)", "total (mJ)"});
-    for (const auto &scheme : schemes) {
+    for (const auto &scheme : schemes()) {
         double acts = 0, reqs = 0;
-        DramEnergyBreakdown sum;
+        double act_pre = 0, rdwr = 0, refresh = 0, total = 0;
         for (const auto &mix : sensitivityMixes()) {
-            SystemParams params = applyScheme(rc.base, scheme);
-            params.numCores = static_cast<unsigned>(mix.apps.size());
-            auto owned = buildMixSources(mix, rc.seedBase);
-            std::vector<TraceSource *> sources;
-            for (auto &s : owned)
-                sources.push_back(s.get());
-            System sys(params, sources);
-            sys.run(rc.warmupCpu + rc.measureCpu);
-
-            for (unsigned c = 0; c < sys.numControllers(); ++c) {
-                const DramChannel &ch = sys.controllerAt(c).channel();
-                acts += static_cast<double>(ch.statActs.value());
-                reqs += static_cast<double>(ch.statReads.value() +
-                                            ch.statWrites.value());
-                DramEnergyBreakdown e =
-                    dramEnergy(ch, sys.memCycle());
-                sum.actPreNj += e.actPreNj;
-                sum.readNj += e.readNj;
-                sum.writeNj += e.writeNj;
-                sum.refreshNj += e.refreshNj;
-                sum.backgroundNj += e.backgroundNj;
-            }
-            std::cerr << "  [" << mix.name << " / " << scheme.name
-                      << "]\n";
+            const std::string k = sweepKey("", mix.name, scheme.name);
+            acts += run.num(k, "acts");
+            reqs += run.num(k, "requests");
+            act_pre += run.num(k, "act_pre_nj");
+            rdwr += run.num(k, "read_nj") + run.num(k, "write_nj");
+            refresh += run.num(k, "refresh_nj");
+            total += run.num(k, "total_nj");
         }
         table.beginRow();
         table.cell(scheme.name);
         table.cell(1000.0 * acts / reqs, 1);
-        table.cell(sum.actPreNj * 1e-6, 3);
-        table.cell((sum.readNj + sum.writeNj) * 1e-6, 3);
-        table.cell(sum.refreshNj * 1e-6, 3);
-        table.cell(sum.totalNj() * 1e-6, 3);
+        table.cell(act_pre * 1e-6, 3);
+        table.cell(rdwr * 1e-6, 3);
+        table.cell(refresh * 1e-6, 3);
+        table.cell(total * 1e-6, 3);
+        run.summary("acts_per_kreq_" + scheme.name,
+                    1000.0 * acts / reqs);
     }
-    table.print(std::cout);
-
-    std::cout << "\nExpected shape: partitioned schemes issue fewer"
-                 " activates per request (row locality preserved),\n"
-                 "lowering the act+pre energy component.\n";
-    return 0;
+    table.print(os);
 }
+
+const CampaignRegistrar reg({
+    "fig16",
+    "DRAM activity and energy per scheme",
+    "Expected shape: partitioned schemes issue fewer activates per "
+    "request (row locality preserved),\nlowering the act+pre energy "
+    "component.",
+    plan,
+    render,
+});
+
+} // namespace

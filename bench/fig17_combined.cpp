@@ -8,28 +8,43 @@
  * scheme set.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
+
+namespace {
 
 using namespace dbpsim;
 using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+std::vector<Scheme>
+schemes()
 {
-    RunConfig rc = makeRunConfig(argc, argv);
-    printHeader("fig17", "channel+bank partitioning composition", rc);
-
-    std::vector<Scheme> schemes = {
-        schemeByName("MCP"), schemeByName("DBP"),
-        schemeByName("DBP-MCP"), schemeByName("DBP-TCM"),
-        schemeByName("DBP-MCP-TCM")};
-    ExperimentRunner runner(rc);
-    auto rows = runSweep(runner, sensitivityMixes(), schemes);
-
-    printMetric(rows, schemes, weightedSpeedupOf, "weighted speedup");
-    printMetric(rows, schemes, maxSlowdownOf,
-                "maximum slowdown (lower = fairer)");
-    return 0;
+    return {schemeByName("MCP"), schemeByName("DBP"),
+            schemeByName("DBP-MCP"), schemeByName("DBP-TCM"),
+            schemeByName("DBP-MCP-TCM")};
 }
+
+void
+plan(CampaignPlan &p, CampaignContext &)
+{
+    planMixSweep(p, sensitivityMixes(), schemes());
+}
+
+void
+render(CampaignRun &run, std::ostream &os)
+{
+    printSweepMetric(run, "", sensitivityMixes(), schemes(), "ws",
+                     "weighted speedup", os);
+    printSweepMetric(run, "", sensitivityMixes(), schemes(), "ms",
+                     "maximum slowdown (lower = fairer)", os);
+}
+
+const CampaignRegistrar reg({
+    "fig17",
+    "channel+bank partitioning composition",
+    "Expected shape: the composed schemes at or above their "
+    "components on both metrics.",
+    plan,
+    render,
+});
+
+} // namespace

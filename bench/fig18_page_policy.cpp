@@ -9,26 +9,24 @@
  * conflict tRP without hurting hit streaks.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
+
+namespace {
 
 using namespace dbpsim;
 using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+struct Variant
 {
-    RunConfig rc = makeRunConfig(argc, argv);
-    printHeader("fig18", "page policy x partitioning", rc);
+    const char *name;
+    PagePolicy policy;
+    const char *part;
+};
 
-    struct Variant
-    {
-        const char *name;
-        PagePolicy policy;
-        const char *part;
-    };
-    const std::vector<Variant> variants = {
+const std::vector<Variant> &
+variants()
+{
+    static const std::vector<Variant> v = {
         {"open / none", PagePolicy::Open, "none"},
         {"adaptive / none", PagePolicy::OpenAdaptive, "none"},
         {"closed / none", PagePolicy::Closed, "none"},
@@ -36,25 +34,53 @@ main(int argc, char **argv)
         {"adaptive / dbp", PagePolicy::OpenAdaptive, "dbp"},
         {"closed / dbp", PagePolicy::Closed, "dbp"},
     };
+    return v;
+}
 
-    TextTable table({"variant", "gmean WS", "gmean MS"});
-    for (const auto &v : variants) {
-        RunConfig cfg = rc;
+std::string
+prefixFor(const Variant &v)
+{
+    return std::string(v.name) + "/";
+}
+
+void
+plan(CampaignPlan &p, CampaignContext &ctx)
+{
+    for (const auto &v : variants()) {
+        RunConfig cfg = ctx.config();
         cfg.base.controller.pagePolicy = v.policy;
-        ExperimentRunner runner(cfg);
         Scheme scheme{v.name, "fr-fcfs", v.part};
-        std::vector<double> ws, ms;
-        for (const auto &mix : sensitivityMixes()) {
-            MixResult r = runner.runMix(mix, scheme);
-            ws.push_back(r.metrics.weightedSpeedup);
-            ms.push_back(r.metrics.maxSlowdown);
-        }
+        planMixSweep(p, cfg, prefixFor(v), sensitivityMixes(),
+                     {scheme});
+    }
+}
+
+void
+render(CampaignRun &run, std::ostream &os)
+{
+    TextTable table({"variant", "gmean WS", "gmean MS"});
+    for (const auto &v : variants()) {
         table.beginRow();
         table.cell(v.name);
-        table.cell(geomean(ws), 3);
-        table.cell(geomean(ms), 3);
-        std::cerr << "  [" << v.name << " done]\n";
+        table.cell(geomean(sweepColumn(run, prefixFor(v),
+                                       sensitivityMixes(), v.name,
+                                       "ws")),
+                   3);
+        table.cell(geomean(sweepColumn(run, prefixFor(v),
+                                       sensitivityMixes(), v.name,
+                                       "ms")),
+                   3);
     }
-    table.print(std::cout);
-    return 0;
+    table.print(os);
 }
+
+const CampaignRegistrar reg({
+    "fig18",
+    "page policy x partitioning",
+    "Expected shape: open policies keep their edge over closed-page "
+    "under DBP; adaptive recoups part of\nthe conflict tRP.",
+    plan,
+    render,
+});
+
+} // namespace

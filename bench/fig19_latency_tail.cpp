@@ -8,63 +8,103 @@
  * compress the worst-thread tail.
  */
 
-#include <iostream>
+#include <algorithm>
 
 #include "bench_common.hh"
 #include "sim/system.hh"
 
+namespace {
+
 using namespace dbpsim;
 using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+std::vector<Scheme>
+schemes()
 {
-    RunConfig rc = makeRunConfig(argc, argv);
-    printHeader("fig19", "read-latency tails per scheme (bus cycles)",
-                rc);
+    return {schemeByName("FR-FCFS"), schemeByName("UBP"),
+            schemeByName("DBP"), schemeByName("TCM"),
+            schemeByName("DBP-TCM")};
+}
 
-    const std::vector<Scheme> schemes = {
-        schemeByName("FR-FCFS"), schemeByName("UBP"),
-        schemeByName("DBP"), schemeByName("TCM"),
-        schemeByName("DBP-TCM")};
+Json
+runTailJob(CampaignContext &ctx, const WorkloadMix &mix,
+           const Scheme &scheme)
+{
+    const RunConfig &rc = ctx.config();
+    SystemParams params = applyScheme(rc.base, scheme);
+    params.numCores = static_cast<unsigned>(mix.apps.size());
+    auto owned = buildMixSources(
+        mix, jobSeed(rc.seedBase, mix.name, scheme.name));
+    std::vector<TraceSource *> sources;
+    for (auto &s : owned)
+        sources.push_back(s.get());
+    System sys(params, sources);
+    sys.run(rc.warmupCpu + rc.measureCpu);
 
+    Json p50 = Json::array();
+    Json p95 = Json::array();
+    for (unsigned t = 0; t < params.numCores; ++t) {
+        auto tid = static_cast<ThreadId>(t);
+        p50.push(Json(sys.threadReadLatencyPercentile(tid, 0.5)));
+        p95.push(Json(sys.threadReadLatencyPercentile(tid, 0.95)));
+    }
+    Json j = Json::object();
+    j.set("p50", std::move(p50));
+    j.set("p95", std::move(p95));
+    return j;
+}
+
+void
+plan(CampaignPlan &p, CampaignContext &)
+{
+    for (const auto &mix : sensitivityMixes()) {
+        for (const auto &scheme : schemes()) {
+            p.add(sweepKey("", mix.name, scheme.name),
+                  [mix, scheme](CampaignContext &ctx) {
+                      return runTailJob(ctx, mix, scheme);
+                  });
+        }
+    }
+}
+
+void
+render(CampaignRun &run, std::ostream &os)
+{
     TextTable table({"scheme", "mean P50", "mean P95",
                      "worst-thread P95"});
-    for (const auto &scheme : schemes) {
+    for (const auto &scheme : schemes()) {
         double p50_sum = 0, p95_sum = 0, worst95 = 0;
         unsigned threads = 0;
         for (const auto &mix : sensitivityMixes()) {
-            SystemParams params = applyScheme(rc.base, scheme);
-            params.numCores = static_cast<unsigned>(mix.apps.size());
-            auto owned = buildMixSources(mix, rc.seedBase);
-            std::vector<TraceSource *> sources;
-            for (auto &s : owned)
-                sources.push_back(s.get());
-            System sys(params, sources);
-            sys.run(rc.warmupCpu + rc.measureCpu);
-
-            for (unsigned t = 0; t < params.numCores; ++t) {
-                auto tid = static_cast<ThreadId>(t);
-                double p50 = sys.threadReadLatencyPercentile(tid, 0.5);
-                double p95 = sys.threadReadLatencyPercentile(tid, 0.95);
-                p50_sum += p50;
-                p95_sum += p95;
-                worst95 = std::max(worst95, p95);
+            const Json &job =
+                run.job(sweepKey("", mix.name, scheme.name));
+            const Json &p50 = job.at("p50");
+            const Json &p95 = job.at("p95");
+            for (std::size_t t = 0; t < p95.size(); ++t) {
+                p50_sum += p50.at(t).asDouble();
+                p95_sum += p95.at(t).asDouble();
+                worst95 = std::max(worst95, p95.at(t).asDouble());
                 ++threads;
             }
-            std::cerr << "  [" << mix.name << " / " << scheme.name
-                      << "]\n";
         }
         table.beginRow();
         table.cell(scheme.name);
         table.cell(p50_sum / threads, 1);
         table.cell(p95_sum / threads, 1);
         table.cell(worst95, 1);
+        run.summary("worst_thread_p95_" + scheme.name, worst95);
     }
-    table.print(std::cout);
-
-    std::cout << "\nExpected shape: partitioned schemes compress the"
-                 " worst-thread P95 (victims stop queueing behind\n"
-                 "other threads' row conflicts).\n";
-    return 0;
+    table.print(os);
 }
+
+const CampaignRegistrar reg({
+    "fig19",
+    "read-latency tails per scheme (bus cycles)",
+    "Expected shape: partitioned schemes compress the worst-thread "
+    "P95 (victims stop queueing behind\nother threads' row "
+    "conflicts).",
+    plan,
+    render,
+});
+
+} // namespace

@@ -7,39 +7,71 @@
  * rate under equal bank partitioning (which restores isolation).
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 
+namespace {
+
 using namespace dbpsim;
+using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+const char *kMix = "W10"; // 100 % intensive.
+
+void
+plan(CampaignPlan &p, CampaignContext &)
 {
-    RunConfig rc = bench::makeRunConfig(argc, argv);
-    bench::printHeader(
-        "fig1", "row-buffer locality: alone vs shared vs UBP", rc);
+    const WorkloadMix &mix = mixByName(kMix);
+    for (const char *scheme : {"FR-FCFS", "UBP"}) {
+        Scheme s = schemeByName(scheme);
+        p.add(sweepKey("", mix.name, s.name),
+              [mix, s](CampaignContext &ctx) {
+                  return mixResultToJson(ctx.runMix(mix, s));
+              });
+    }
+    for (const auto &app : mix.apps) {
+        p.add("alone/" + app, [app](CampaignContext &ctx) {
+            AloneBaseline b = ctx.baselines().get(ctx.config(), app);
+            Json j = Json::object();
+            j.set("row_hit_rate", b.profile.rowBufferHitRate);
+            return j;
+        });
+    }
+}
 
-    ExperimentRunner runner(rc);
-    const WorkloadMix &mix = mixByName("W10"); // 100 % intensive.
-
-    MixResult shared = runner.runMix(mix, schemeByName("FR-FCFS"));
-    MixResult ubp = runner.runMix(mix, schemeByName("UBP"));
+void
+render(CampaignRun &run, std::ostream &os)
+{
+    const WorkloadMix &mix = mixByName(kMix);
+    const Json &shared = run.job(sweepKey("", mix.name, "FR-FCFS"));
+    const Json &ubp = run.job(sweepKey("", mix.name, "UBP"));
 
     TextTable table({"app", "alone RB hit", "shared RB hit",
                      "UBP RB hit", "lost (alone-shared)"});
+    double lost_sum = 0.0;
     for (std::size_t t = 0; t < mix.apps.size(); ++t) {
-        double alone = runner.aloneProfile(mix.apps[t]).rowBufferHitRate;
+        double alone =
+            run.num("alone/" + mix.apps[t], "row_hit_rate");
+        double sh = shared.at("row_hit_rate").at(t).asDouble();
+        double ub = ubp.at("row_hit_rate").at(t).asDouble();
+        lost_sum += alone - sh;
         table.beginRow();
         table.cell(mix.apps[t]);
         table.cell(alone, 3);
-        table.cell(shared.rowHitRate[t], 3);
-        table.cell(ubp.rowHitRate[t], 3);
-        table.cell(alone - shared.rowHitRate[t], 3);
+        table.cell(sh, 3);
+        table.cell(ub, 3);
+        table.cell(alone - sh, 3);
     }
-    table.print(std::cout);
-
-    std::cout << "\nExpected shape: shared << alone for high-locality"
-                 " apps; UBP restores most of the loss.\n";
-    return 0;
+    table.print(os);
+    run.summary("mean_rb_hit_lost_shared",
+                lost_sum / static_cast<double>(mix.apps.size()));
 }
+
+const CampaignRegistrar reg({
+    "fig1",
+    "row-buffer locality: alone vs shared vs UBP",
+    "Expected shape: shared << alone for high-locality apps; UBP "
+    "restores most of the loss.",
+    plan,
+    render,
+});
+
+} // namespace

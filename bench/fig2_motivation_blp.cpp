@@ -9,66 +9,71 @@
  * exactly the deficiency DBP repairs.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
-#include "part/policy.hh"
-#include "sim/system.hh"
-#include "trace/spec_profiles.hh"
-
-using namespace dbpsim;
 
 namespace {
 
-/** Alone IPC with the footprint confined to @p k banks. */
-double
-ipcWithBanks(const RunConfig &rc, const std::string &app, unsigned k)
+using namespace dbpsim;
+using namespace dbpsim::bench;
+
+const std::vector<std::string> &
+apps()
 {
-    SystemParams params = rc.base;
-    params.numCores = 1;
-    params.partition = "none";
-
-    auto source = makeSpecSource(app, rc.seedBase * 31 + 7);
-    std::vector<TraceSource *> raw{source.get()};
-    System sys(params, raw);
-
-    auto order = channelSpreadColorOrder(params.geometry.channels,
-                                         params.geometry.ranksPerChannel,
-                                         params.geometry.banksPerRank);
-    std::vector<unsigned> colors(order.begin(), order.begin() + k);
-    sys.osMemory().setColorSet(0, colors);
-
-    return sys.runAndMeasure(rc.warmupCpu, rc.measureCpu).at(0);
+    static const std::vector<std::string> a = {"mcf", "omnetpp", "lbm",
+                                               "libquantum"};
+    return a;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+const std::vector<unsigned> &
+bankCounts()
 {
-    RunConfig rc = bench::makeRunConfig(argc, argv);
-    bench::printHeader("fig2",
-                       "IPC vs available banks (alone, normalized)", rc);
+    static const std::vector<unsigned> k = {1, 2, 4, 8, 16, 32};
+    return k;
+}
 
-    const std::vector<std::string> apps = {"mcf", "omnetpp", "lbm",
-                                           "libquantum"};
-    const std::vector<unsigned> banks = {1, 2, 4, 8, 16, 32};
+std::string
+key(const std::string &app, unsigned k)
+{
+    return app + "/" + std::to_string(k) + "bk";
+}
 
+void
+plan(CampaignPlan &p, CampaignContext &)
+{
+    for (const auto &app : apps()) {
+        for (unsigned k : bankCounts()) {
+            p.add(key(app, k), [app, k](CampaignContext &ctx) {
+                Json j = Json::object();
+                j.set("ipc",
+                      aloneIpcWithBanks(ctx.config(), app, k));
+                return j;
+            });
+        }
+    }
+}
+
+void
+render(CampaignRun &run, std::ostream &os)
+{
     TextTable table({"app", "1", "2", "4", "8", "16", "32"});
-    for (const auto &app : apps) {
-        std::vector<double> ipcs;
-        for (unsigned k : banks)
-            ipcs.push_back(ipcWithBanks(rc, app, k));
-        double base = ipcs.back();
+    for (const auto &app : apps()) {
+        double base = run.num(key(app, 32), "ipc");
         table.beginRow();
         table.cell(app);
-        for (double v : ipcs)
-            table.cell(v / base, 3);
+        for (unsigned k : bankCounts())
+            table.cell(run.num(key(app, k), "ipc") / base, 3);
     }
-    table.print(std::cout);
-
-    std::cout << "\nExpected shape: libquantum saturates by ~2 banks;"
-                 " mcf/omnetpp keep improving well past the 4-bank\n"
-                 "equal share of an 8-core machine.\n";
-    return 0;
+    table.print(os);
 }
+
+const CampaignRegistrar reg({
+    "fig2",
+    "IPC vs available banks (alone, normalized)",
+    "Expected shape: libquantum saturates by ~2 banks; mcf/omnetpp "
+    "keep improving well past the 4-bank\nequal share of an 8-core "
+    "machine.",
+    plan,
+    render,
+});
+
+} // namespace

@@ -8,77 +8,97 @@
  * all-banks IPC. The two should rank applications the same way.
  */
 
-#include <cmath>
-#include <iostream>
-
 #include "bench_common.hh"
-#include "part/part_dbp.hh"
-#include "part/policy.hh"
-#include "sim/system.hh"
 #include "trace/spec_profiles.hh"
-
-using namespace dbpsim;
 
 namespace {
 
-double
-ipcWithBanks(const RunConfig &rc, const std::string &app, unsigned k)
+using namespace dbpsim;
+using namespace dbpsim::bench;
+
+const std::vector<unsigned> &
+bankCounts()
 {
-    SystemParams params = rc.base;
-    params.numCores = 1;
-    params.partition = "none";
-    auto source = makeSpecSource(app, rc.seedBase * 31 + 7);
-    std::vector<TraceSource *> raw{source.get()};
-    System sys(params, raw);
-    auto order = channelSpreadColorOrder(params.geometry.channels,
-                                         params.geometry.ranksPerChannel,
-                                         params.geometry.banksPerRank);
-    std::vector<unsigned> colors(order.begin(), order.begin() + k);
-    sys.osMemory().setColorSet(0, colors);
-    return sys.runAndMeasure(rc.warmupCpu, rc.measureCpu).at(0);
+    static const std::vector<unsigned> k = {1, 2, 4, 8, 16, 32};
+    return k;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+std::vector<std::string>
+intensiveApps()
 {
-    RunConfig rc = bench::makeRunConfig(argc, argv);
-    bench::printHeader("fig3",
-                       "bank-demand estimation vs sufficient banks", rc);
+    std::vector<std::string> out;
+    for (const auto &info : specProfiles())
+        if (info.intensive)
+            out.push_back(info.name);
+    return out;
+}
 
-    ExperimentRunner runner(rc);
-    const std::vector<unsigned> ks = {1, 2, 4, 8, 16, 32};
+std::string
+bankKey(const std::string &app, unsigned k)
+{
+    return app + "/" + std::to_string(k) + "bk";
+}
 
+void
+plan(CampaignPlan &p, CampaignContext &)
+{
+    for (const auto &app : intensiveApps()) {
+        p.add(app + "/profile", [app](CampaignContext &ctx) {
+            AloneBaseline b = ctx.baselines().get(ctx.config(), app);
+            Json j = Json::object();
+            j.set("mpki", b.profile.mpki);
+            j.set("row_hit_rate", b.profile.rowBufferHitRate);
+            return j;
+        });
+        for (unsigned k : bankCounts()) {
+            p.add(bankKey(app, k), [app, k](CampaignContext &ctx) {
+                Json j = Json::object();
+                j.set("ipc",
+                      aloneIpcWithBanks(ctx.config(), app, k));
+                return j;
+            });
+        }
+    }
+}
+
+void
+render(CampaignRun &run, std::ostream &os)
+{
     TextTable table({"app", "MPKI", "RB hit", "miss intensity",
                      "sufficient banks (90% IPC)"});
-    for (const auto &info : specProfiles()) {
-        if (!info.intensive)
-            continue;
-        ThreadMemProfile p = runner.aloneProfile(info.name);
+    for (const auto &app : intensiveApps()) {
+        double mpki = run.num(app + "/profile", "mpki");
+        double rbhr = run.num(app + "/profile", "row_hit_rate");
         // DBP's demand signal: row misses per kilo-instruction.
-        double demand = p.mpki * (1.0 - p.rowBufferHitRate);
+        double demand = mpki * (1.0 - rbhr);
 
-        double full = ipcWithBanks(rc, info.name, 32);
+        double full = run.num(bankKey(app, 32), "ipc");
         unsigned sufficient = 32;
-        for (unsigned k : ks) {
-            if (ipcWithBanks(rc, info.name, k) >= 0.9 * full) {
+        for (unsigned k : bankCounts()) {
+            if (run.num(bankKey(app, k), "ipc") >= 0.9 * full) {
                 sufficient = k;
                 break;
             }
         }
 
         table.beginRow();
-        table.cell(info.name);
-        table.cell(p.mpki, 2);
-        table.cell(p.rowBufferHitRate, 2);
+        table.cell(app);
+        table.cell(mpki, 2);
+        table.cell(rbhr, 2);
         table.cell(demand, 2);
         table.cell(sufficient);
     }
-    table.print(std::cout);
-
-    std::cout << "\nExpected shape: miss intensity and sufficient bank"
-                 " count rank the applications consistently\n"
-                 "(streaming apps low, irregular intensive apps high).\n";
-    return 0;
+    table.print(os);
 }
+
+const CampaignRegistrar reg({
+    "fig3",
+    "bank-demand estimation vs sufficient banks",
+    "Expected shape: miss intensity and sufficient bank count rank "
+    "the applications consistently\n(streaming apps low, irregular "
+    "intensive apps high).",
+    plan,
+    render,
+});
+
+} // namespace

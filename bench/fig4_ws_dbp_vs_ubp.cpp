@@ -6,34 +6,47 @@
  * UBP by 4.3 % gmean.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
+
+namespace {
 
 using namespace dbpsim;
 using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+std::vector<Scheme>
+schemes()
 {
-    RunConfig rc = makeRunConfig(argc, argv);
-    printHeader("fig4", "weighted speedup: FR-FCFS vs UBP vs DBP", rc);
-
-    std::vector<Scheme> schemes = {schemeByName("FR-FCFS"),
-                                   schemeByName("UBP"),
-                                   schemeByName("DBP")};
-    ExperimentRunner runner(rc);
-    auto rows = runSweep(runner, allMixes(), schemes);
-
-    printMetric(rows, schemes, weightedSpeedupOf, "weighted speedup");
-
-    std::vector<double> ubp, dbp;
-    for (const auto &row : rows) {
-        ubp.push_back(row.results[1].metrics.weightedSpeedup);
-        dbp.push_back(row.results[2].metrics.weightedSpeedup);
-    }
-    std::cout << "DBP vs UBP gmean WS gain: "
-              << formatDouble(pctGain(geomean(ubp), geomean(dbp)), 2)
-              << " %  (paper: +4.3 %)\n";
-    return 0;
+    return {schemeByName("FR-FCFS"), schemeByName("UBP"),
+            schemeByName("DBP")};
 }
+
+void
+plan(CampaignPlan &p, CampaignContext &)
+{
+    planMixSweep(p, allMixes(), schemes());
+}
+
+void
+render(CampaignRun &run, std::ostream &os)
+{
+    printSweepMetric(run, "", allMixes(), schemes(), "ws",
+                     "weighted speedup", os);
+
+    double ubp = geomean(sweepColumn(run, "", allMixes(), "UBP", "ws"));
+    double dbp = geomean(sweepColumn(run, "", allMixes(), "DBP", "ws"));
+    double gain = pctGain(ubp, dbp);
+    run.summary("gmean_ws_gain_dbp_vs_ubp_pct", gain);
+    os << "DBP vs UBP gmean WS gain: " << formatDouble(gain, 2)
+       << " %  (paper: +4.3 %)\n";
+}
+
+const CampaignRegistrar reg({
+    "fig4",
+    "weighted speedup: FR-FCFS vs UBP vs DBP",
+    "Expected shape: DBP above UBP above FR-FCFS on most mixes, with "
+    "a positive gmean gain.",
+    plan,
+    render,
+});
+
+} // namespace

@@ -5,36 +5,48 @@
  * paper reports DBP improving fairness by 16 % gmean over UBP.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
+
+namespace {
 
 using namespace dbpsim;
 using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+std::vector<Scheme>
+schemes()
 {
-    RunConfig rc = makeRunConfig(argc, argv);
-    printHeader("fig5", "maximum slowdown: FR-FCFS vs UBP vs DBP", rc);
-
-    std::vector<Scheme> schemes = {schemeByName("FR-FCFS"),
-                                   schemeByName("UBP"),
-                                   schemeByName("DBP")};
-    ExperimentRunner runner(rc);
-    auto rows = runSweep(runner, allMixes(), schemes);
-
-    printMetric(rows, schemes, maxSlowdownOf,
-                "maximum slowdown (lower = fairer)");
-
-    std::vector<double> ubp, dbp;
-    for (const auto &row : rows) {
-        ubp.push_back(row.results[1].metrics.maxSlowdown);
-        dbp.push_back(row.results[2].metrics.maxSlowdown);
-    }
-    // Fairness improvement = reduction in max slowdown.
-    double gain = 100.0 * (geomean(ubp) - geomean(dbp)) / geomean(ubp);
-    std::cout << "DBP vs UBP gmean fairness gain: "
-              << formatDouble(gain, 2) << " %  (paper: +16 %)\n";
-    return 0;
+    return {schemeByName("FR-FCFS"), schemeByName("UBP"),
+            schemeByName("DBP")};
 }
+
+void
+plan(CampaignPlan &p, CampaignContext &)
+{
+    planMixSweep(p, allMixes(), schemes());
+}
+
+void
+render(CampaignRun &run, std::ostream &os)
+{
+    printSweepMetric(run, "", allMixes(), schemes(), "ms",
+                     "maximum slowdown (lower = fairer)", os);
+
+    double ubp = geomean(sweepColumn(run, "", allMixes(), "UBP", "ms"));
+    double dbp = geomean(sweepColumn(run, "", allMixes(), "DBP", "ms"));
+    // Fairness improvement = reduction in max slowdown.
+    double gain = pctDrop(ubp, dbp);
+    run.summary("gmean_fairness_gain_dbp_vs_ubp_pct", gain);
+    os << "DBP vs UBP gmean fairness gain: " << formatDouble(gain, 2)
+       << " %  (paper: +16 %)\n";
+}
+
+const CampaignRegistrar reg({
+    "fig5",
+    "maximum slowdown: FR-FCFS vs UBP vs DBP",
+    "Expected shape: DBP's max slowdown below UBP's on most mixes "
+    "(positive fairness gain).",
+    plan,
+    render,
+});
+
+} // namespace

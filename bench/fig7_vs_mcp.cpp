@@ -7,43 +7,58 @@
  * split concentrates the intensive threads' contention.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
+
+namespace {
 
 using namespace dbpsim;
 using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+std::vector<Scheme>
+schemes()
 {
-    RunConfig rc = makeRunConfig(argc, argv);
-    printHeader("fig7", "MCP vs DBP vs DBP-TCM", rc);
-
-    std::vector<Scheme> schemes = {schemeByName("MCP"),
-                                   schemeByName("DBP"),
-                                   schemeByName("DBP-TCM")};
-    ExperimentRunner runner(rc);
-    auto rows = runSweep(runner, allMixes(), schemes);
-
-    printMetric(rows, schemes, weightedSpeedupOf, "weighted speedup");
-    printMetric(rows, schemes, maxSlowdownOf,
-                "maximum slowdown (lower = fairer)");
-
-    std::vector<double> mcp_ws, comb_ws, mcp_ms, comb_ms;
-    for (const auto &row : rows) {
-        mcp_ws.push_back(row.results[0].metrics.weightedSpeedup);
-        comb_ws.push_back(row.results[2].metrics.weightedSpeedup);
-        mcp_ms.push_back(row.results[0].metrics.maxSlowdown);
-        comb_ms.push_back(row.results[2].metrics.maxSlowdown);
-    }
-    std::cout << "DBP-TCM vs MCP gmean WS gain: "
-              << formatDouble(pctGain(geomean(mcp_ws), geomean(comb_ws)),
-                              2)
-              << " %  (paper: +5.3 %)\n";
-    double fair = 100.0 * (geomean(mcp_ms) - geomean(comb_ms)) /
-        geomean(mcp_ms);
-    std::cout << "DBP-TCM vs MCP gmean fairness gain: "
-              << formatDouble(fair, 2) << " %  (paper: +37 %)\n";
-    return 0;
+    return {schemeByName("MCP"), schemeByName("DBP"),
+            schemeByName("DBP-TCM")};
 }
+
+void
+plan(CampaignPlan &p, CampaignContext &)
+{
+    planMixSweep(p, allMixes(), schemes());
+}
+
+void
+render(CampaignRun &run, std::ostream &os)
+{
+    printSweepMetric(run, "", allMixes(), schemes(), "ws",
+                     "weighted speedup", os);
+    printSweepMetric(run, "", allMixes(), schemes(), "ms",
+                     "maximum slowdown (lower = fairer)", os);
+
+    double mcp_ws = geomean(sweepColumn(run, "", allMixes(), "MCP", "ws"));
+    double comb_ws =
+        geomean(sweepColumn(run, "", allMixes(), "DBP-TCM", "ws"));
+    double mcp_ms = geomean(sweepColumn(run, "", allMixes(), "MCP", "ms"));
+    double comb_ms =
+        geomean(sweepColumn(run, "", allMixes(), "DBP-TCM", "ms"));
+
+    double ws_gain = pctGain(mcp_ws, comb_ws);
+    double fair_gain = pctDrop(mcp_ms, comb_ms);
+    run.summary("gmean_ws_gain_dbptcm_vs_mcp_pct", ws_gain);
+    run.summary("gmean_fairness_gain_dbptcm_vs_mcp_pct", fair_gain);
+    os << "DBP-TCM vs MCP gmean WS gain: " << formatDouble(ws_gain, 2)
+       << " %  (paper: +5.3 %)\n";
+    os << "DBP-TCM vs MCP gmean fairness gain: "
+       << formatDouble(fair_gain, 2) << " %  (paper: +37 %)\n";
+}
+
+const CampaignRegistrar reg({
+    "fig7",
+    "MCP vs DBP vs DBP-TCM",
+    "Expected shape: DBP-TCM ahead of MCP on throughput and far ahead "
+    "on fairness.",
+    plan,
+    render,
+});
+
+} // namespace

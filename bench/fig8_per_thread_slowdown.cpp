@@ -6,47 +6,63 @@
  * application of mix W06, one column per scheme.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
+
+namespace {
 
 using namespace dbpsim;
 using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+const char *kMix = "W06";
+
+std::vector<Scheme>
+schemes()
 {
-    Config cfg;
-    RunConfig rc = makeRunConfig(argc, argv, &cfg);
-    printHeader("fig8", "per-thread slowdowns in one mix", rc);
+    return {schemeByName("FR-FCFS"), schemeByName("MCP"),
+            schemeByName("DBP"), schemeByName("DBP-TCM")};
+}
 
-    const WorkloadMix &mix = mixByName(cfg.getString("mix", "W06"));
-    std::vector<Scheme> schemes = {
-        schemeByName("FR-FCFS"), schemeByName("MCP"),
-        schemeByName("DBP"), schemeByName("DBP-TCM")};
+void
+plan(CampaignPlan &p, CampaignContext &)
+{
+    planMixSweep(p, {mixByName(kMix)}, schemes());
+}
 
-    ExperimentRunner runner(rc);
-    std::vector<MixResult> results;
-    for (const auto &s : schemes)
-        results.push_back(runner.runMix(mix, s));
+void
+render(CampaignRun &run, std::ostream &os)
+{
+    const WorkloadMix &mix = mixByName(kMix);
+    const std::vector<Scheme> ss = schemes();
 
     std::vector<std::string> headers{"app"};
-    for (const auto &s : schemes)
+    for (const auto &s : ss)
         headers.push_back(s.name);
     TextTable table(headers);
     for (std::size_t t = 0; t < mix.apps.size(); ++t) {
         table.beginRow();
         table.cell(mix.apps[t]);
-        for (const auto &r : results)
-            table.cell(r.metrics.slowdowns[t], 3);
+        for (const auto &s : ss) {
+            const Json &job = run.job(sweepKey("", mix.name, s.name));
+            table.cell(job.at("slowdowns").at(t).asDouble(), 3);
+        }
     }
     table.beginRow();
     table.cell("MAX");
-    for (const auto &r : results)
-        table.cell(r.metrics.maxSlowdown, 3);
-    table.print(std::cout);
-
-    std::cout << "\nExpected shape: MCP's worst thread (an intensive"
-                 " one) suffers far more than under DBP/DBP-TCM.\n";
-    return 0;
+    for (const auto &s : ss) {
+        double ms = run.num(sweepKey("", mix.name, s.name), "ms");
+        table.cell(ms, 3);
+        run.summary("max_slowdown_" + s.name, ms);
+    }
+    table.print(os);
 }
+
+const CampaignRegistrar reg({
+    "fig8",
+    "per-thread slowdowns in one mix",
+    "Expected shape: MCP's worst thread (an intensive one) suffers far "
+    "more than under DBP/DBP-TCM.",
+    plan,
+    render,
+});
+
+} // namespace

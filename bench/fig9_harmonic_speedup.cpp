@@ -6,27 +6,40 @@
  * component metrics.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
+
+namespace {
 
 using namespace dbpsim;
 using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+std::vector<Scheme>
+schemes()
 {
-    RunConfig rc = makeRunConfig(argc, argv);
-    printHeader("fig9", "harmonic speedup across schemes", rc);
-
-    std::vector<Scheme> schemes = {
-        schemeByName("FR-FCFS"), schemeByName("UBP"),
-        schemeByName("DBP"),     schemeByName("TCM"),
-        schemeByName("DBP-TCM"), schemeByName("MCP")};
-    ExperimentRunner runner(rc);
-    auto rows = runSweep(runner, allMixes(), schemes);
-
-    printMetric(rows, schemes, harmonicSpeedupOf,
-                "harmonic speedup (higher = better balance)");
-    return 0;
+    return {schemeByName("FR-FCFS"), schemeByName("UBP"),
+            schemeByName("DBP"),     schemeByName("TCM"),
+            schemeByName("DBP-TCM"), schemeByName("MCP")};
 }
+
+void
+plan(CampaignPlan &p, CampaignContext &)
+{
+    planMixSweep(p, allMixes(), schemes());
+}
+
+void
+render(CampaignRun &run, std::ostream &os)
+{
+    printSweepMetric(run, "", allMixes(), schemes(), "hs",
+                     "harmonic speedup (higher = better balance)", os);
+}
+
+const CampaignRegistrar reg({
+    "fig9",
+    "harmonic speedup across schemes",
+    "Expected shape: DBP-TCM leads the gmean row; FR-FCFS trails.",
+    plan,
+    render,
+});
+
+} // namespace

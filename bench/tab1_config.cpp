@@ -5,20 +5,24 @@
  * numbers in EXPERIMENTS.md can never drift from the code.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 #include "dram/timing.hh"
 
+namespace {
+
 using namespace dbpsim;
+using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+void
+plan(CampaignPlan &, CampaignContext &)
 {
-    RunConfig rc = bench::makeRunConfig(argc, argv);
-    bench::printHeader("tab1", "system configuration", rc);
+    // Render-only: the table is derived from the configuration itself.
+}
 
-    const SystemParams &p = rc.base;
+void
+render(CampaignRun &run, std::ostream &os)
+{
+    const SystemParams &p = run.config().base;
     DramTiming t = p.timing();
 
     TextTable table({"component", "configuration"});
@@ -69,6 +73,15 @@ main(int argc, char **argv)
         "destination banks, cap " +
         std::to_string(p.partMgr.maxMigratePages) + " pages");
 
-    table.print(std::cout);
-    return 0;
+    table.print(os);
 }
+
+const CampaignRegistrar reg({
+    "tab1",
+    "system configuration",
+    "",
+    plan,
+    render,
+});
+
+} // namespace

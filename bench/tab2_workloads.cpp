@@ -7,40 +7,63 @@
  * of the SPEC characterization table in the paper).
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
 #include "trace/spec_profiles.hh"
 
+namespace {
+
 using namespace dbpsim;
+using namespace dbpsim::bench;
 
-int
-main(int argc, char **argv)
+void
+plan(CampaignPlan &p, CampaignContext &)
 {
-    RunConfig rc = bench::makeRunConfig(argc, argv);
-    bench::printHeader("tab2", "workload characteristics (alone runs)",
-                       rc);
+    for (const auto &info : specProfiles()) {
+        const std::string app = info.name;
+        p.add(app, [app](CampaignContext &ctx) {
+            AloneBaseline b = ctx.baselines().get(ctx.config(), app);
+            Json j = Json::object();
+            j.set("ipc", b.ipc);
+            j.set("mpki", b.profile.mpki);
+            j.set("row_hit_rate", b.profile.rowBufferHitRate);
+            j.set("blp", b.profile.blp);
+            j.set("footprint_pages",
+                  static_cast<std::int64_t>(b.profile.footprintPages));
+            return j;
+        });
+    }
+}
 
-    ExperimentRunner runner(rc);
+void
+render(CampaignRun &run, std::ostream &os)
+{
     TextTable table({"app", "class", "IPC", "MPKI", "RB hit",
                      "BLP", "pages"});
     for (const auto &info : specProfiles()) {
-        ThreadMemProfile p = runner.aloneProfile(info.name);
-        double ipc = runner.aloneIpc(info.name);
         table.beginRow();
         table.cell(info.name);
         table.cell(info.intensive ? "intensive" : "light");
-        table.cell(ipc);
-        table.cell(p.mpki, 2);
-        table.cell(p.rowBufferHitRate, 3);
-        table.cell(p.blp, 2);
-        table.cell(p.footprintPages);
+        table.cell(run.num(info.name, "ipc"));
+        table.cell(run.num(info.name, "mpki"), 2);
+        table.cell(run.num(info.name, "row_hit_rate"), 3);
+        table.cell(run.num(info.name, "blp"), 2);
+        table.cell(static_cast<std::uint64_t>(
+            run.num(info.name, "footprint_pages")));
     }
-    table.print(std::cout);
+    table.print(os);
 
-    std::cout << "\nMPKI = DRAM accesses per kilo-instruction; RB hit ="
-                 " interference-free (shadow) row-buffer hit rate;\n"
-                 "BLP = mean banks busy while the app has outstanding"
-                 " requests.\n";
-    return 0;
+    os << "\nMPKI = DRAM accesses per kilo-instruction; RB hit ="
+          " interference-free (shadow) row-buffer hit rate;\n"
+          "BLP = mean banks busy while the app has outstanding"
+          " requests.\n";
 }
+
+const CampaignRegistrar reg({
+    "tab2",
+    "workload characteristics (alone runs)",
+    "",
+    plan,
+    render,
+});
+
+} // namespace

@@ -3,20 +3,23 @@
  * Sweep every memory scheduler (optionally crossed with every
  * partition policy) over one workload mix — a quick interactive view
  * of the scheduling landscape the paper's orthogonality argument
- * builds on.
+ * builds on. Built as an ad-hoc (unregistered) campaign, so the grid
+ * points run in parallel and land in deterministic slots.
  *
  * Usage:
- *   scheduler_compare                # W04, partition fixed to none
+ *   scheduler_compare                  # W04, partition fixed to none
  *   scheduler_compare mix=W10 cross=1  # full scheduler x partition grid
+ *   scheduler_compare jobs=8           # worker threads (default: hw)
  */
 
 #include <iostream>
+#include <memory>
 
 #include "common/config.hh"
 #include "common/table.hh"
 #include "mem/sched_factory.hh"
 #include "part/part_factory.hh"
-#include "sim/experiment.hh"
+#include "sim/campaign.hh"
 
 using namespace dbpsim;
 
@@ -32,6 +35,7 @@ main(int argc, char **argv)
     rc.base.applyConfig(config);
     rc.warmupCpu = config.getUInt("warmup", 2'000'000);
     rc.measureCpu = config.getUInt("measure", 3'000'000);
+    rc.seedBase = config.getUInt("seed", 42);
 
     const WorkloadMix &mix = mixByName(config.getString("mix", "W04"));
     rc.base.numCores = static_cast<unsigned>(mix.apps.size());
@@ -40,26 +44,47 @@ main(int argc, char **argv)
     std::cout << "mix " << mix.name << " on " << rc.base.summary()
               << "\n\n";
 
-    ExperimentRunner runner(rc);
-    std::vector<std::string> parts =
+    const std::vector<std::string> parts =
         cross ? partitionPolicyNames()
               : std::vector<std::string>{"none"};
 
-    TextTable table({"scheduler", "partition", "weighted speedup",
-                     "max slowdown", "harmonic speedup"});
-    for (const auto &sched : schedulerNames()) {
-        for (const auto &part : parts) {
-            Scheme scheme{sched + "+" + part, sched, part};
-            MixResult r = runner.runMix(mix, scheme);
-            table.beginRow();
-            table.cell(sched);
-            table.cell(part);
-            table.cell(r.metrics.weightedSpeedup);
-            table.cell(r.metrics.maxSlowdown);
-            table.cell(r.metrics.harmonicSpeedup);
+    CampaignSpec spec;
+    spec.name = "scheduler_compare";
+    spec.title = "scheduler x partition on " + mix.name;
+    spec.plan = [&mix, &parts](CampaignPlan &plan, CampaignContext &) {
+        for (const auto &sched : schedulerNames()) {
+            for (const auto &part : parts) {
+                Scheme scheme{sched + "+" + part, sched, part};
+                plan.add(scheme.name,
+                         [mix, scheme](CampaignContext &ctx) {
+                             return mixResultToJson(
+                                 ctx.runMix(mix, scheme));
+                         });
+            }
         }
-    }
-    table.print(std::cout);
+    };
+    spec.render = [&parts](CampaignRun &run, std::ostream &os) {
+        TextTable table({"scheduler", "partition", "weighted speedup",
+                         "max slowdown", "harmonic speedup"});
+        for (const auto &sched : schedulerNames()) {
+            for (const auto &part : parts) {
+                const std::string key = sched + "+" + part;
+                table.beginRow();
+                table.cell(sched);
+                table.cell(part);
+                table.cell(run.num(key, "ws"));
+                table.cell(run.num(key, "ms"));
+                table.cell(run.num(key, "hs"));
+            }
+        }
+        table.print(os);
+    };
+
+    CampaignOptions opts;
+    opts.jobs = static_cast<unsigned>(config.getUInt("jobs", 0));
+    opts.progress = config.getBool("progress", true);
+    auto baselines = std::make_shared<AloneBaselineCache>();
+    runCampaign(spec, rc, baselines, opts, std::cout);
 
     std::cout << "\nSchedulers reorder service; partitions remove "
                  "inter-thread bank conflicts. The best cell combines "

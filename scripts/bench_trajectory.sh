@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+#
+# Append one benchmark-trajectory data point to BENCH_campaign.json
+# (JSON lines, one object per invocation): wall clock and summary
+# metrics of a fixed micro fig4 campaign. Run it on each commit of
+# interest and the file becomes the performance history of the
+# campaign layer — wall_seconds tracks executor efficiency,
+# job_seconds_total tracks simulator cost, and the gmean metrics catch
+# accuracy drift. The config hash is recorded so points from different
+# machine configurations are never compared by accident.
+#
+# Usage: scripts/bench_trajectory.sh [jobs]
+#   jobs   Worker threads for the campaign (default: nproc).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+jobs="${1:-$(nproc 2>/dev/null || echo 4)}"
+
+# Fixed micro workload: fig4's sweep on a shortened window. Changing
+# these invalidates comparability with older lines, so don't.
+warmup=500000
+measure=1000000
+seed=42
+
+cmake --preset default >/dev/null
+cmake --build build -j "$(nproc 2>/dev/null || echo 4)" \
+    --target dbpsim_bench >/dev/null
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+./build/bench/dbpsim_bench fig4 --jobs="$jobs" --out="$out" --quiet \
+    --no-cache warmup="$warmup" measure="$measure" seed="$seed" \
+    >/dev/null
+
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+date_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+python3 - "$out/fig4.json" "$commit" "$date_utc" "$jobs" <<'EOF' \
+    >>BENCH_campaign.json
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+line = {
+    "commit": sys.argv[2],
+    "date": sys.argv[3],
+    "jobs": int(sys.argv[4]),
+    "config_hash": doc["config"]["hash"],
+    "jobs_count": doc["jobs_count"],
+    "wall_seconds": round(doc["wall_seconds"], 3),
+    "job_seconds_total": round(doc["job_seconds_total"], 3),
+}
+for key, value in doc["summary"].items():
+    line[key] = round(value, 4) if isinstance(value, float) else value
+print(json.dumps(line))
+EOF
+
+tail -n 1 BENCH_campaign.json

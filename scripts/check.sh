@@ -6,7 +6,9 @@
 #      and the full test suite.
 #   2. ASan+UBSan build with the DRAM protocol checker compiled in
 #      (DBPSIM_CHECK=ON) and the full test suite again.
-#   3. clang-tidy over the files changed relative to the merge base
+#   3. TSan build + the campaign/executor test subset — the parallel
+#      experiment executor must be data-race free.
+#   4. clang-tidy over the files changed relative to the merge base
 #      (skipped with a note when clang-tidy is not installed).
 #
 # Usage: scripts/check.sh [base-ref]
@@ -36,6 +38,12 @@ cmake --build --preset asan-ubsan -j "$jobs"
 ctest --preset asan-ubsan -j "$jobs"
 
 # ---------------------------------------------------------------- 3 --
+step "TSan build + parallel-executor tests"
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$jobs" --target dbpsim_tests
+ctest --preset tsan -R 'Executor|Campaign'
+
+# ---------------------------------------------------------------- 4 --
 step "clang-tidy over changed files"
 if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "clang-tidy not installed; skipping lint step."

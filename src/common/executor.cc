@@ -1,0 +1,89 @@
+#include "common/executor.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace dbpsim {
+
+JobExecutor::JobExecutor(unsigned threads)
+    : threads_(threads == 0 ? defaultThreads() : threads)
+{
+}
+
+unsigned
+JobExecutor::defaultThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 4 : hw;
+}
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+std::vector<double>
+JobExecutor::run(const std::vector<std::function<void()>> &tasks)
+{
+    std::vector<double> seconds(tasks.size(), 0.0);
+    if (tasks.empty())
+        return seconds;
+
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto run_one = [&](std::size_t i) {
+        auto start = std::chrono::steady_clock::now();
+        try {
+            tasks[i]();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+        // Each task writes only its own slot: no synchronization
+        // needed beyond the thread join below.
+        seconds[i] = secondsSince(start);
+    };
+
+    unsigned workers = threads_;
+    if (workers > tasks.size())
+        workers = static_cast<unsigned>(tasks.size());
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            run_one(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            while (true) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= tasks.size())
+                    return;
+                run_one(i);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return seconds;
+}
+
+} // namespace dbpsim

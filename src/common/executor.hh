@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A small thread-pool job executor for independent simulation jobs.
+ *
+ * The campaign layer fans one sweep out into many self-contained
+ * (mix, scheme) simulations; this executor runs them on N worker
+ * threads. Determinism is the caller's contract: every task must
+ * derive its seeds from stable names (see jobSeed() in
+ * sim/baseline.hh), write only into its own pre-assigned result slot,
+ * and never read another task's output — then the results are
+ * byte-identical whether the pool runs 1 thread or 16, regardless of
+ * completion order.
+ */
+
+#ifndef DBPSIM_COMMON_EXECUTOR_HH
+#define DBPSIM_COMMON_EXECUTOR_HH
+
+#include <functional>
+#include <vector>
+
+namespace dbpsim {
+
+/**
+ * Runs a batch of independent tasks on a fixed-size worker pool.
+ */
+class JobExecutor
+{
+  public:
+    /**
+     * @param threads Worker count. 0 picks the hardware concurrency;
+     *        1 runs every task inline on the calling thread (serial
+     *        mode — the reference for determinism comparisons).
+     */
+    explicit JobExecutor(unsigned threads = 0);
+
+    /** Hardware concurrency with a sane fallback. */
+    static unsigned defaultThreads();
+
+    /** Resolved worker count. */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Run all @p tasks to completion and return per-task wall-clock
+     * seconds, indexed like @p tasks. Tasks are claimed from a shared
+     * atomic cursor, so submission order never influences which thread
+     * runs what — and must therefore never influence results either.
+     * The first exception thrown by any task is rethrown here after
+     * every worker has drained (remaining tasks still run).
+     */
+    std::vector<double> run(
+        const std::vector<std::function<void()>> &tasks);
+
+  private:
+    unsigned threads_;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_COMMON_EXECUTOR_HH

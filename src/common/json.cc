@@ -1,0 +1,526 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    DBP_ASSERT(type_ == Type::Object, "Json::set on non-object");
+    for (auto &m : members_) {
+        if (m.first == key) {
+            m.second = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &m : members_)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *j = find(key);
+    if (!j)
+        fatal("json: missing member '", key, "'");
+    return *j;
+}
+
+Json &
+Json::push(Json value)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    DBP_ASSERT(type_ == Type::Array, "Json::push on non-array");
+    elements_.push_back(std::move(value));
+    return *this;
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    DBP_ASSERT(type_ == Type::Array, "Json::at(index) on non-array");
+    if (i >= elements_.size())
+        fatal("json: index ", i, " out of range (size ",
+              elements_.size(), ")");
+    return elements_[i];
+}
+
+std::size_t
+Json::size() const
+{
+    switch (type_) {
+      case Type::Array:
+        return elements_.size();
+      case Type::Object:
+        return members_.size();
+      case Type::String:
+        return str_.size();
+      default:
+        return 0;
+    }
+}
+
+bool
+Json::asBool() const
+{
+    if (type_ != Type::Bool)
+        fatal("json: not a bool");
+    return bool_;
+}
+
+double
+Json::asDouble() const
+{
+    if (type_ != Type::Number)
+        fatal("json: not a number");
+    return num_;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    return static_cast<std::int64_t>(asDouble());
+}
+
+std::uint64_t
+Json::asUInt() const
+{
+    double v = asDouble();
+    if (v < 0)
+        fatal("json: negative value where unsigned expected");
+    return static_cast<std::uint64_t>(v);
+}
+
+const std::string &
+Json::asString() const
+{
+    if (type_ != Type::String)
+        fatal("json: not a string");
+    return str_;
+}
+
+namespace {
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/**
+ * Shortest decimal form that parses back to the same double: try
+ * increasing precision until the round-trip matches. Deterministic and
+ * locale-independent (snprintf with "C" numeric formatting assumed, as
+ * everywhere else in the simulator).
+ */
+void
+writeNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no inf/nan; emit null (campaign metrics are finite
+        // by construction, so this only guards against future misuse).
+        os << "null";
+        return;
+    }
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+        std::fabs(v) < 1e15) {
+        os << static_cast<std::int64_t>(v);
+        return;
+    }
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == v)
+            break;
+    }
+    os << buf;
+}
+
+void
+writeIndent(std::ostream &os, int indent, int depth)
+{
+    os << '\n';
+    for (int i = 0; i < indent * depth; ++i)
+        os << ' ';
+}
+
+// ---- parser ---------------------------------------------------------
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (text.compare(pos, n, word) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        out.clear();
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos];
+            if (c == '\\') {
+                if (pos + 1 >= text.size())
+                    return fail("truncated escape");
+                char e = text[pos + 1];
+                pos += 2;
+                switch (e) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text[pos + static_cast<std::size_t>(i)];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    pos += 4;
+                    // The writer only emits \u00XX control codes;
+                    // decode the Latin-1 range, reject the rest.
+                    if (code > 0xff)
+                        return fail("unsupported \\u escape");
+                    out += static_cast<char>(code);
+                    break;
+                  }
+                  default:
+                    return fail("bad escape");
+                }
+            } else {
+                out += c;
+                ++pos;
+            }
+        }
+        if (pos >= text.size())
+            return fail("unterminated string");
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out = Json::object();
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                Json v;
+                if (!parseValue(v))
+                    return false;
+                out.set(key, std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out = Json::array();
+            skipWs();
+            if (consume(']'))
+                return true;
+            while (true) {
+                Json v;
+                if (!parseValue(v))
+                    return false;
+                out.push(std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+        }
+        if (literal("true")) {
+            out = Json(true);
+            return true;
+        }
+        if (literal("false")) {
+            out = Json(false);
+            return true;
+        }
+        if (literal("null")) {
+            out = Json();
+            return true;
+        }
+        // number
+        std::size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '-' ||
+                text[pos] == '+'))
+            ++pos;
+        if (pos == start)
+            return fail("unexpected character");
+        double v = 0.0;
+        if (std::sscanf(text.substr(start, pos - start).c_str(), "%lf",
+                        &v) != 1)
+            return fail("malformed number");
+        out = Json(v);
+        return true;
+    }
+};
+
+} // namespace
+
+void
+Json::writeImpl(std::ostream &os, int indent, int depth) const
+{
+    switch (type_) {
+      case Type::Null:
+        os << "null";
+        break;
+      case Type::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Type::Number:
+        writeNumber(os, num_);
+        break;
+      case Type::String:
+        writeEscaped(os, str_);
+        break;
+      case Type::Array: {
+        if (elements_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[';
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+            if (i)
+                os << (indent ? "," : ", ");
+            if (indent)
+                writeIndent(os, indent, depth + 1);
+            elements_[i].writeImpl(os, indent, depth + 1);
+        }
+        if (indent)
+            writeIndent(os, indent, depth);
+        os << ']';
+        break;
+      }
+      case Type::Object: {
+        if (members_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{';
+        bool first = true;
+        for (const auto &m : members_) {
+            if (!first)
+                os << (indent ? "," : ", ");
+            first = false;
+            if (indent)
+                writeIndent(os, indent, depth + 1);
+            writeEscaped(os, m.first);
+            os << ": ";
+            m.second.writeImpl(os, indent, depth + 1);
+        }
+        if (indent)
+            writeIndent(os, indent, depth);
+        os << '}';
+        break;
+      }
+    }
+}
+
+void
+Json::write(std::ostream &os, int indent) const
+{
+    writeImpl(os, indent, 0);
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::ostringstream os;
+    write(os, indent);
+    return os.str();
+}
+
+Json
+Json::parse(const std::string &text, std::string *error)
+{
+    Parser p(text);
+    Json out;
+    if (!p.parseValue(out)) {
+        if (error)
+            *error = p.error;
+        return Json();
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (error)
+            *error = "trailing garbage at offset " +
+                std::to_string(p.pos);
+        return Json();
+    }
+    if (error)
+        error->clear();
+    return out;
+}
+
+} // namespace dbpsim

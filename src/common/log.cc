@@ -1,24 +1,44 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace dbpsim {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// Per-thread job tag; plain thread_local needs no synchronization.
+thread_local std::string t_job_tag;
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+const std::string &
+logJobTag()
+{
+    return t_job_tag;
+}
+
+LogJobScope::LogJobScope(std::string tag) : saved_(std::move(t_job_tag))
+{
+    t_job_tag = std::move(tag);
+}
+
+LogJobScope::~LogJobScope()
+{
+    t_job_tag = std::move(saved_);
 }
 
 namespace detail {
@@ -26,23 +46,38 @@ namespace detail {
 void
 emit(LogLevel level, const char *tag, const std::string &msg)
 {
-    if (static_cast<int>(level) > static_cast<int>(g_level))
+    if (static_cast<int>(level) > static_cast<int>(logLevel()))
         return;
-    std::fprintf(stderr, "[dbpsim:%s] %s\n", tag, msg.c_str());
+    // One fprintf call per line: stderr is unbuffered and POSIX makes
+    // single stdio calls atomic with respect to each other, so
+    // parallel workers cannot interleave mid-line.
+    if (t_job_tag.empty())
+        std::fprintf(stderr, "[dbpsim:%s] %s\n", tag, msg.c_str());
+    else
+        std::fprintf(stderr, "[dbpsim:%s] (%s) %s\n", tag,
+                     t_job_tag.c_str(), msg.c_str());
 }
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "[dbpsim:panic] %s:%d: %s\n", file, line,
-                 msg.c_str());
+    if (t_job_tag.empty())
+        std::fprintf(stderr, "[dbpsim:panic] %s:%d: %s\n", file, line,
+                     msg.c_str());
+    else
+        std::fprintf(stderr, "[dbpsim:panic] (%s) %s:%d: %s\n",
+                     t_job_tag.c_str(), file, line, msg.c_str());
     std::abort();
 }
 
 void
 fatalImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "[dbpsim:fatal] %s\n", msg.c_str());
+    if (t_job_tag.empty())
+        std::fprintf(stderr, "[dbpsim:fatal] %s\n", msg.c_str());
+    else
+        std::fprintf(stderr, "[dbpsim:fatal] (%s) %s\n",
+                     t_job_tag.c_str(), msg.c_str());
     std::exit(1);
 }
 

@@ -16,11 +16,39 @@ namespace dbpsim {
 /** Verbosity levels for status messages. */
 enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
 
-/** Global log verbosity (default: Warn). */
+/**
+ * Global log verbosity (default: Warn). Stored atomically so campaign
+ * worker threads can consult it while another thread adjusts it.
+ */
 LogLevel logLevel();
 
-/** Set the global log verbosity. */
+/** Set the global log verbosity (atomic; callable from any thread). */
 void setLogLevel(LogLevel level);
+
+/**
+ * This thread's job tag — prefixed to every log line the thread emits
+ * so interleaved parallel campaign output stays attributable
+ * ("[dbpsim:warn] (fig4:W04/DBP) ..."). Empty when unset.
+ */
+const std::string &logJobTag();
+
+/**
+ * RAII scope installing a job tag on the current thread; restores the
+ * previous tag (nesting-safe) on destruction. Campaign workers wrap
+ * each job in one of these.
+ */
+class LogJobScope
+{
+  public:
+    explicit LogJobScope(std::string tag);
+    ~LogJobScope();
+
+    LogJobScope(const LogJobScope &) = delete;
+    LogJobScope &operator=(const LogJobScope &) = delete;
+
+  private:
+    std::string saved_;
+};
 
 namespace detail {
 

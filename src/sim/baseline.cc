@@ -1,0 +1,284 @@
+#include "sim/baseline.hh"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "part/policy.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "trace/spec_profiles.hh"
+
+namespace dbpsim {
+
+std::uint64_t
+hashString(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+aloneRunSignature(const RunConfig &rc)
+{
+    const SystemParams &p = rc.base;
+    std::ostringstream os;
+    os << "alone-v1"
+       << ";cpuRatio=" << p.cpuRatio
+       << ";core=" << p.core.windowSize << '/' << p.core.issueWidth
+       << '/' << p.core.mshrs << '/' << p.core.storeBufferSize << '/'
+       << p.core.lineBytes
+       << ";geom=" << p.geometry.channels << 'x'
+       << p.geometry.ranksPerChannel << 'x' << p.geometry.banksPerRank
+       << '/' << p.geometry.rowsPerBank << '/' << p.geometry.rowBytes
+       << '/' << p.geometry.lineBytes << '/' << p.geometry.pageBytes
+       << ";timing=" << p.timingName
+       << ";map=" << mapSchemeName(p.scheme)
+       << ";xor=" << p.bankXor
+       << ";ctrl=" << p.controller.readQueueSize << '/'
+       << p.controller.writeQueueSize << '/'
+       << p.controller.writeHiWatermark << '/'
+       << p.controller.writeLoWatermark << '/'
+       << p.controller.idleWriteThresh << '/'
+       << p.controller.forwardLatency << '/'
+       << static_cast<int>(p.controller.pagePolicy) << '/'
+       << p.controller.rowIdleTimeout
+       << ";cache=" << p.cacheEnabled;
+    if (p.cacheEnabled)
+        os << '/' << p.cache.sizeBytes << '/' << p.cache.associativity
+           << '/' << p.cache.lineBytes << '/' << p.cache.hitLatency;
+    os << ";warmup=" << rc.warmupCpu << ";measure=" << rc.measureCpu
+       << ";seed=" << rc.seedBase;
+    return os.str();
+}
+
+std::uint64_t
+jobSeed(std::uint64_t seed_base, const std::string &mix,
+        const std::string &scheme)
+{
+    // Mix SplitMix64-style so nearby seed bases stay uncorrelated.
+    std::uint64_t z = seed_base + 0x9e3779b97f4a7c15ULL;
+    z ^= hashString(mix);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z ^= hashString(scheme);
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+AloneBaseline
+runAloneBaseline(const RunConfig &rc, const std::string &app)
+{
+    SystemParams params = rc.base;
+    params.numCores = 1;
+    params.scheduler = "fr-fcfs";
+    params.partition = "none";
+    // One profiling interval covering exactly the full run, closed
+    // explicitly at the end, so the alone profile summarizes the whole
+    // execution.
+    params.profileIntervalCpu = rc.warmupCpu + rc.measureCpu +
+        1'000'000'000ULL;
+
+    auto source = makeSpecSource(app, rc.seedBase * 31 + 7);
+    std::vector<TraceSource *> sources{source.get()};
+    System system(params, sources);
+    std::vector<double> ipc = system.runAndMeasure(rc.warmupCpu,
+                                                   rc.measureCpu);
+    system.closeIntervalNow();
+
+    AloneBaseline out;
+    out.ipc = ipc.at(0);
+    out.profile = system.lastIntervalProfiles().at(0);
+    return out;
+}
+
+double
+aloneIpcWithBanks(const RunConfig &rc, const std::string &app,
+                  unsigned banks)
+{
+    SystemParams params = rc.base;
+    params.numCores = 1;
+    params.scheduler = "fr-fcfs";
+    params.partition = "none";
+
+    auto source = makeSpecSource(app, rc.seedBase * 31 + 7);
+    std::vector<TraceSource *> raw{source.get()};
+    System sys(params, raw);
+
+    auto order = channelSpreadColorOrder(params.geometry.channels,
+                                         params.geometry.ranksPerChannel,
+                                         params.geometry.banksPerRank);
+    DBP_ASSERT(banks >= 1 && banks <= order.size(),
+               "bank count out of range");
+    std::vector<unsigned> colors(order.begin(), order.begin() + banks);
+    sys.osMemory().setColorSet(0, colors);
+
+    return sys.runAndMeasure(rc.warmupCpu, rc.measureCpu).at(0);
+}
+
+namespace {
+
+std::string
+cacheKey(const RunConfig &rc, const std::string &app)
+{
+    std::ostringstream os;
+    os << app << '@' << std::hex << hashString(aloneRunSignature(rc));
+    return os.str();
+}
+
+Json
+profileToJson(const ThreadMemProfile &p)
+{
+    Json j = Json::object();
+    j.set("mpki", p.mpki);
+    j.set("row_hit_rate", p.rowBufferHitRate);
+    j.set("blp", p.blp);
+    j.set("mlp", p.mlp);
+    j.set("row_parallelism", p.rowParallelism);
+    j.set("requests", p.requests);
+    j.set("instructions", p.instructions);
+    j.set("footprint_pages", p.footprintPages);
+    return j;
+}
+
+ThreadMemProfile
+profileFromJson(const Json &j)
+{
+    ThreadMemProfile p;
+    p.mpki = j.at("mpki").asDouble();
+    p.rowBufferHitRate = j.at("row_hit_rate").asDouble();
+    p.blp = j.at("blp").asDouble();
+    p.mlp = j.at("mlp").asDouble();
+    p.rowParallelism = j.at("row_parallelism").asDouble();
+    p.requests = j.at("requests").asUInt();
+    p.instructions = j.at("instructions").asUInt();
+    p.footprintPages = j.at("footprint_pages").asUInt();
+    return p;
+}
+
+constexpr const char *kCacheFormat = "dbpsim-alone-cache-v1";
+
+} // namespace
+
+AloneBaseline
+AloneBaselineCache::get(const RunConfig &rc, const std::string &app)
+{
+    const std::string key = cacheKey(rc, app);
+
+    std::shared_future<AloneBaseline> future;
+    bool compute = false;
+    std::promise<AloneBaseline> promise;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+            ++computed_;
+            compute = true;
+        }
+    }
+
+    if (compute) {
+        // Simulate outside the lock: other apps' baselines proceed in
+        // parallel; same-key requests wait on the shared future.
+        try {
+            promise.set_value(runAloneBaseline(rc, app));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+bool
+AloneBaselineCache::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    std::string error;
+    Json root = Json::parse(buf.str(), &error);
+    if (!error.empty() || root.type() != Json::Type::Object) {
+        warn("alone cache ", path, " unreadable (", error,
+             "); ignoring");
+        return false;
+    }
+    const Json *format = root.find("format");
+    if (!format || format->asString() != kCacheFormat) {
+        warn("alone cache ", path, " has unknown format; ignoring");
+        return false;
+    }
+
+    std::size_t merged = 0;
+    for (const auto &m : root.at("entries").members()) {
+        AloneBaseline b;
+        b.ipc = m.second.at("ipc").asDouble();
+        b.profile = profileFromJson(m.second.at("profile"));
+        std::promise<AloneBaseline> p;
+        p.set_value(b);
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (entries_.emplace(m.first, p.get_future().share()).second)
+            ++merged;
+    }
+    inform("alone cache: loaded ", merged, " baseline(s) from ", path);
+    return true;
+}
+
+bool
+AloneBaselineCache::save(const std::string &path) const
+{
+    Json entries = Json::object();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &e : entries_) {
+            // Only persist completed computations; an in-flight entry
+            // means save() raced a run, which the campaign driver
+            // never does (it saves after all jobs join).
+            if (e.second.wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready)
+                continue;
+            const AloneBaseline &b = e.second.get();
+            Json j = Json::object();
+            j.set("ipc", b.ipc);
+            j.set("profile", profileToJson(b.profile));
+            entries.set(e.first, std::move(j));
+        }
+    }
+    Json root = Json::object();
+    root.set("format", kCacheFormat);
+    root.set("entries", std::move(entries));
+
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    root.write(out, 2);
+    out << '\n';
+    return static_cast<bool>(out);
+}
+
+std::size_t
+AloneBaselineCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::uint64_t
+AloneBaselineCache::computeCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return computed_;
+}
+
+} // namespace dbpsim

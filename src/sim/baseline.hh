@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Alone-run baselines as a shared, thread-safe, persistent cache.
+ *
+ * Every speedup the paper reports divides a shared-run IPC by the
+ * application's alone-run IPC on the same hardware. Those alone runs
+ * are pure functions of (application, hardware configuration, seed);
+ * this module computes them once per process — whichever campaign job
+ * asks first — and can persist them to results/alone_cache.json so
+ * later bench invocations skip them entirely.
+ *
+ * Also home of the campaign seeding discipline: jobSeed() derives a
+ * simulation seed from stable names only (seed base, mix, scheme), so
+ * a sweep's results never depend on job submission or completion
+ * order.
+ */
+
+#ifndef DBPSIM_SIM_BASELINE_HH
+#define DBPSIM_SIM_BASELINE_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "mem/thread_profile.hh"
+
+namespace dbpsim {
+
+struct RunConfig;
+
+/** What one alone run produces: the IPC denominator and the profile. */
+struct AloneBaseline
+{
+    double ipc = 0.0;
+    ThreadMemProfile profile;
+};
+
+/**
+ * FNV-1a 64-bit hash (stable across platforms/runs; used for config
+ * signatures and seed derivation).
+ */
+std::uint64_t hashString(const std::string &s);
+
+/**
+ * Canonical signature of every parameter an alone run depends on:
+ * core front-end, DRAM geometry/timing, controller, address map,
+ * cache, measurement window and seed base. Two RunConfigs with equal
+ * signatures produce bit-identical alone runs.
+ */
+std::string aloneRunSignature(const RunConfig &rc);
+
+/**
+ * Deterministic per-job seed: a function of the seed base and the
+ * mix/scheme names — never of submission order. Distinct names give
+ * (with overwhelming probability) distinct, uncorrelated seeds.
+ */
+std::uint64_t jobSeed(std::uint64_t seed_base, const std::string &mix,
+                      const std::string &scheme);
+
+/**
+ * Run @p app alone on the configured hardware (single core, FR-FCFS,
+ * unpartitioned) — a pure function of its arguments; thread-safe.
+ */
+AloneBaseline runAloneBaseline(const RunConfig &rc,
+                               const std::string &app);
+
+/**
+ * Alone IPC of @p app with its footprint confined to the first @p
+ * banks colors of the channel-spread order — the fig2/fig3
+ * bank-sensitivity probe. Pure function; thread-safe.
+ */
+double aloneIpcWithBanks(const RunConfig &rc, const std::string &app,
+                         unsigned banks);
+
+/**
+ * Thread-safe memoization of alone runs, keyed by
+ * (application, alone-config hash). Concurrent requests for the same
+ * key block on one computation instead of duplicating it; requests
+ * for different keys compute in parallel. Optionally persisted as
+ * JSON so a later process reloads instead of re-simulating.
+ */
+class AloneBaselineCache
+{
+  public:
+    AloneBaselineCache() = default;
+
+    /** Baseline for @p app under @p rc; computes at most once. */
+    AloneBaseline get(const RunConfig &rc, const std::string &app);
+
+    /**
+     * Merge entries from a JSON cache file. Unknown or malformed
+     * files are ignored (returns false) — the cache is an
+     * optimization, never a correctness dependency.
+     */
+    bool load(const std::string &path);
+
+    /** Write all (completed) entries to @p path. */
+    bool save(const std::string &path) const;
+
+    /** Entries resident (loaded + computed). */
+    std::size_t size() const;
+
+    /** Alone runs actually simulated by this process (not loaded). */
+    std::uint64_t computeCount() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_future<AloneBaseline>> entries_;
+    std::uint64_t computed_ = 0;
+};
+
+} // namespace dbpsim
+
+#endif // DBPSIM_SIM_BASELINE_HH

@@ -1,84 +1,35 @@
 #include "sim/experiment.hh"
 
 #include "common/log.hh"
-#include "trace/spec_profiles.hh"
 
 namespace dbpsim {
 
-ExperimentRunner::ExperimentRunner(RunConfig config)
-    : config_(std::move(config))
-{
-    DBP_ASSERT(config_.measureCpu > 0, "measureCpu must be > 0");
-}
-
-void
-ExperimentRunner::runAlone(const std::string &app)
-{
-    SystemParams params = config_.base;
-    params.numCores = 1;
-    params.scheduler = "fr-fcfs";
-    params.partition = "none";
-    // One profiling interval covering exactly the full run, closed
-    // explicitly at the end, so the alone profile summarizes the whole
-    // execution.
-    params.profileIntervalCpu = config_.warmupCpu + config_.measureCpu +
-        1'000'000'000ULL;
-
-    auto source = makeSpecSource(app, config_.seedBase * 31 + 7);
-    std::vector<TraceSource *> sources{source.get()};
-    System system(params, sources);
-    std::vector<double> ipc = system.runAndMeasure(config_.warmupCpu,
-                                                   config_.measureCpu);
-    system.closeIntervalNow();
-
-    aloneIpcCache_[app] = ipc.at(0);
-    aloneProfileCache_[app] = system.lastIntervalProfiles().at(0);
-}
-
-double
-ExperimentRunner::aloneIpc(const std::string &app)
-{
-    auto it = aloneIpcCache_.find(app);
-    if (it == aloneIpcCache_.end()) {
-        runAlone(app);
-        it = aloneIpcCache_.find(app);
-    }
-    return it->second;
-}
-
-ThreadMemProfile
-ExperimentRunner::aloneProfile(const std::string &app)
-{
-    auto it = aloneProfileCache_.find(app);
-    if (it == aloneProfileCache_.end()) {
-        runAlone(app);
-        it = aloneProfileCache_.find(app);
-    }
-    return it->second;
-}
-
 MixResult
-ExperimentRunner::runMix(const WorkloadMix &mix, const Scheme &scheme)
+runMixJob(const RunConfig &rc, const WorkloadMix &mix,
+          const Scheme &scheme, AloneBaselineCache &baselines)
 {
-    SystemParams params = applyScheme(config_.base, scheme);
+    SystemParams params = applyScheme(rc.base, scheme);
     params.numCores = static_cast<unsigned>(mix.apps.size());
 
-    auto owned = buildMixSources(mix, config_.seedBase);
+    // Seeding discipline: derive from stable names only, never from
+    // the order jobs were submitted or completed in.
+    auto owned = buildMixSources(
+        mix, jobSeed(rc.seedBase, mix.name, scheme.name));
     std::vector<TraceSource *> sources;
     sources.reserve(owned.size());
     for (auto &s : owned)
         sources.push_back(s.get());
 
     System system(params, sources);
-    std::vector<double> shared = system.runAndMeasure(config_.warmupCpu,
-                                                      config_.measureCpu);
+    std::vector<double> shared = system.runAndMeasure(rc.warmupCpu,
+                                                      rc.measureCpu);
 
     MixResult result;
     result.mixName = mix.name;
     result.schemeName = scheme.name;
     result.sharedIpc = shared;
     for (const auto &app : mix.apps)
-        result.aloneIpc.push_back(aloneIpc(app));
+        result.aloneIpc.push_back(baselines.get(rc, app).ipc);
     result.metrics = computeMetrics(result.aloneIpc, result.sharedIpc);
 
     for (unsigned t = 0; t < params.numCores; ++t) {
@@ -90,7 +41,40 @@ ExperimentRunner::runMix(const WorkloadMix &mix, const Scheme &scheme)
         system.partitionManager().statPagesMigrated.value();
     result.repartitions =
         system.partitionManager().statRepartitions.value();
+    if (ProtocolChecker *pc = system.protocolChecker()) {
+        pc->finalize(system.memCycle());
+        result.checkViolations =
+            static_cast<std::int64_t>(pc->violations());
+    }
     return result;
+}
+
+ExperimentRunner::ExperimentRunner(
+    RunConfig config, std::shared_ptr<AloneBaselineCache> baselines)
+    : config_(std::move(config)), baselines_(std::move(baselines))
+{
+    DBP_ASSERT(config_.measureCpu > 0, "measureCpu must be > 0");
+    if (!baselines_)
+        baselines_ = std::make_shared<AloneBaselineCache>();
+}
+
+double
+ExperimentRunner::aloneIpc(const std::string &app) const
+{
+    return baselines_->get(config_, app).ipc;
+}
+
+ThreadMemProfile
+ExperimentRunner::aloneProfile(const std::string &app) const
+{
+    return baselines_->get(config_, app).profile;
+}
+
+MixResult
+ExperimentRunner::runMix(const WorkloadMix &mix,
+                         const Scheme &scheme) const
+{
+    return runMixJob(config_, mix, scheme, *baselines_);
 }
 
 } // namespace dbpsim

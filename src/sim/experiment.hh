@@ -2,16 +2,24 @@
  * @file
  * Experiment harness: runs workload mixes under schemes, computing
  * alone-run baselines once per (application, hardware) pair and the
- * paper's metrics per run. Every figure bench builds on this.
+ * paper's metrics per run. Every figure campaign builds on this.
+ *
+ * Thread-safety contract (the campaign layer depends on it): an
+ * ExperimentRunner is stateless per run — runMix() and the alone
+ * accessors are const and may be called concurrently from any number
+ * of threads. The only shared mutable state is the alone-baseline
+ * cache (see sim/baseline.hh), which synchronizes internally and may
+ * be shared between runners so one process never repeats an alone run.
  */
 
 #ifndef DBPSIM_SIM_EXPERIMENT_HH
 #define DBPSIM_SIM_EXPERIMENT_HH
 
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/baseline.hh"
 #include "sim/metrics.hh"
 #include "sim/schemes.hh"
 #include "sim/system.hh"
@@ -51,43 +59,70 @@ struct MixResult
     std::vector<double> readLatency;  ///< per thread, bus cycles.
     std::uint64_t pagesMigrated = 0;
     std::uint64_t repartitions = 0;
+
+    /**
+     * DRAM protocol checker violations during the shared run, or -1
+     * when the checker was not enabled for this configuration.
+     */
+    std::int64_t checkViolations = -1;
 };
 
 /**
- * The harness. Alone-run IPCs are cached per application profile, so
- * sweeping many schemes over many mixes pays the baseline cost once.
+ * Run @p mix under @p scheme on @p rc's hardware: the stateless
+ * per-job simulation the campaign executor fans out. Trace seeds
+ * derive from (rc.seedBase, mix.name, scheme.name) via jobSeed(), so
+ * the result is a pure function of its arguments. Alone-run IPCs come
+ * from @p baselines, which memoizes them thread-safely.
+ */
+MixResult runMixJob(const RunConfig &rc, const WorkloadMix &mix,
+                    const Scheme &scheme,
+                    AloneBaselineCache &baselines);
+
+/**
+ * The harness. A thin, thread-safe facade over runMixJob() and the
+ * alone-baseline cache; kept as the stable entry point for tests,
+ * examples and ad-hoc experiments.
  */
 class ExperimentRunner
 {
   public:
-    explicit ExperimentRunner(RunConfig config);
+    /**
+     * @param config Harness configuration.
+     * @param baselines Alone-run cache to share; a private one is
+     *        created when omitted.
+     */
+    explicit ExperimentRunner(
+        RunConfig config,
+        std::shared_ptr<AloneBaselineCache> baselines = nullptr);
 
     /**
      * Alone IPC of @p app on the configured hardware (FR-FCFS,
      * unpartitioned, single core) — the denominator of every speedup.
      */
-    double aloneIpc(const std::string &app);
+    double aloneIpc(const std::string &app) const;
 
-    /** Run @p mix under @p scheme. */
-    MixResult runMix(const WorkloadMix &mix, const Scheme &scheme);
+    /** Run @p mix under @p scheme. Thread-safe. */
+    MixResult runMix(const WorkloadMix &mix, const Scheme &scheme) const;
 
     /**
      * Alone-run characteristics of an application (for the workload
      * table and motivation figures): measured MPKI, shadow row-buffer
      * hit rate, BLP, IPC, footprint.
      */
-    ThreadMemProfile aloneProfile(const std::string &app);
+    ThreadMemProfile aloneProfile(const std::string &app) const;
 
     /** Configuration access. */
     const RunConfig &config() const { return config_; }
 
-  private:
-    /** Run an app alone; fills both caches. */
-    void runAlone(const std::string &app);
+    /** The shared alone-baseline cache. */
+    const std::shared_ptr<AloneBaselineCache> &baselines() const
+    {
+        return baselines_;
+    }
 
+  private:
     RunConfig config_;
-    std::map<std::string, double> aloneIpcCache_;
-    std::map<std::string, ThreadMemProfile> aloneProfileCache_;
+    std::shared_ptr<AloneBaselineCache> baselines_;
 };
 
 } // namespace dbpsim
