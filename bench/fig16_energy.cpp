@@ -8,6 +8,7 @@
  */
 
 #include "bench_common.hh"
+#include "common/log.hh"
 #include "dram/energy.hh"
 #include "sim/system.hh"
 
@@ -52,6 +53,15 @@ runEnergyJob(CampaignContext &ctx, const WorkloadMix &mix,
         sum.refreshNj += e.refreshNj;
         sum.backgroundNj += e.backgroundNj;
     }
+
+    // Refresh is on by default; a zero refresh-energy term here means
+    // the REF counts were dropped on the floor somewhere between the
+    // channel stats and the energy model.
+    if (params.controller.refresh.mode != RefreshMode::None &&
+        sum.refreshNj <= 0.0)
+        DBP_PANIC("fig16: refresh enabled but refresh energy is zero "
+                  "(mix " << mix.name << ", scheme " << scheme.name
+                  << ")");
 
     Json j = Json::object();
     j.set("acts", acts);

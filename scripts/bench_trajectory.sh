@@ -2,12 +2,15 @@
 #
 # Append one benchmark-trajectory data point to BENCH_campaign.json
 # (JSON lines, one object per invocation): wall clock and summary
-# metrics of a fixed micro fig4 campaign. Run it on each commit of
-# interest and the file becomes the performance history of the
-# campaign layer — wall_seconds tracks executor efficiency,
-# job_seconds_total tracks simulator cost, and the gmean metrics catch
-# accuracy drift. The config hash is recorded so points from different
-# machine configurations are never compared by accident.
+# metrics of a fixed micro fig4 campaign, plus a micro fig20 refresh
+# sweep (fields prefixed fig20_). Run it on each commit of interest
+# and the file becomes the performance history of the campaign layer —
+# wall_seconds tracks executor efficiency, job_seconds_total tracks
+# simulator cost, and the gmean metrics catch accuracy drift. fig20
+# runs with the protocol checker on, so the point also certifies the
+# refresh engine was violation-free at this commit. The config hash is
+# recorded so points from different machine configurations are never
+# compared by accident.
 #
 # Usage: scripts/bench_trajectory.sh [jobs]
 #   jobs   Worker threads for the campaign (default: nproc).
@@ -25,6 +28,11 @@ warmup=500000
 measure=1000000
 seed=42
 
+# fig20 sweeps 4 refresh modes x 3 schemes, so it gets a shorter
+# window to keep the whole trajectory point cheap. Same rule: fixed.
+fig20_warmup=200000
+fig20_measure=400000
+
 cmake --preset default >/dev/null
 cmake --build build -j "$(nproc 2>/dev/null || echo 4)" \
     --target dbpsim_bench >/dev/null
@@ -36,19 +44,23 @@ trap 'rm -rf "$out"' EXIT
     --no-cache warmup="$warmup" measure="$measure" seed="$seed" \
     >/dev/null
 
+./build/bench/dbpsim_bench fig20 --jobs="$jobs" --out="$out" --quiet \
+    --no-cache warmup="$fig20_warmup" measure="$fig20_measure" \
+    seed="$seed" >/dev/null
+
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 date_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
-python3 - "$out/fig4.json" "$commit" "$date_utc" "$jobs" <<'EOF' \
-    >>BENCH_campaign.json
+python3 - "$out/fig4.json" "$out/fig20.json" "$commit" "$date_utc" \
+    "$jobs" <<'EOF' >>BENCH_campaign.json
 import json
 import sys
 
 doc = json.load(open(sys.argv[1]))
 line = {
-    "commit": sys.argv[2],
-    "date": sys.argv[3],
-    "jobs": int(sys.argv[4]),
+    "commit": sys.argv[3],
+    "date": sys.argv[4],
+    "jobs": int(sys.argv[5]),
     "config_hash": doc["config"]["hash"],
     "jobs_count": doc["jobs_count"],
     "wall_seconds": round(doc["wall_seconds"], 3),
@@ -56,6 +68,19 @@ line = {
 }
 for key, value in doc["summary"].items():
     line[key] = round(value, 4) if isinstance(value, float) else value
+
+fig20 = json.load(open(sys.argv[2]))
+line["fig20_wall_seconds"] = round(fig20["wall_seconds"], 3)
+line["fig20_job_seconds_total"] = round(
+    fig20["job_seconds_total"], 3)
+violations = sum(
+    j.get("check_violations", 0) for j in fig20["jobs"].values())
+line["fig20_check_violations"] = violations
+for key, value in fig20["summary"].items():
+    if not key.startswith("gmean_"):
+        continue
+    flat = "fig20_" + key.replace("/", "_")
+    line[flat] = round(value, 4) if isinstance(value, float) else value
 print(json.dumps(line))
 EOF
 

@@ -6,8 +6,9 @@
 #      and the full test suite.
 #   2. ASan+UBSan build with the DRAM protocol checker compiled in
 #      (DBPSIM_CHECK=ON) and the full test suite again.
-#   3. TSan build + the campaign/executor test subset — the parallel
-#      experiment executor must be data-race free.
+#   3. TSan build + the campaign/executor/refresh/protocol-check test
+#      subset — the parallel experiment executor must be data-race
+#      free, and the refresh engine must stay checker-clean under it.
 #   4. clang-tidy over the files changed relative to the merge base
 #      (skipped with a note when clang-tidy is not installed).
 #
@@ -41,7 +42,7 @@ ctest --preset asan-ubsan -j "$jobs"
 step "TSan build + parallel-executor tests"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" --target dbpsim_tests
-ctest --preset tsan -R 'Executor|Campaign'
+ctest --preset tsan -R 'Executor|Campaign|Refresh|ProtocolCheck'
 
 # ---------------------------------------------------------------- 4 --
 step "clang-tidy over changed files"

@@ -31,6 +31,10 @@ violationName(Violation v)
       case Violation::DataBusConflict: return "data_bus_conflict";
       case Violation::PartitionAccess: return "partition_access";
       case Violation::PartitionAlloc: return "partition_alloc";
+      case Violation::TimingTRFCpb: return "trfc_pb";
+      case Violation::RefreshPbOpenBank: return "refresh_pb_open_bank";
+      case Violation::RefreshPbLate: return "refresh_pb_late";
+      case Violation::RefreshPbForeign: return "refresh_pb_foreign";
     }
     DBP_PANIC("unreachable Violation");
 }
@@ -285,6 +289,12 @@ ProtocolChecker::checkRefresh(const CmdEvent &ev)
         if (c < b.actReadyTRC)
             flag(Violation::TimingTRC, bev,
                  tooEarly("tRC before refresh", b.actReadyTRC, c));
+        if (c < b.pbRefreshEndAt)
+            flag(Violation::TimingTRFCpb, bev,
+                 tooEarly("tRFCpb before all-bank refresh",
+                          b.pbRefreshEndAt, c));
+        // An all-bank REF refreshes every bank; reset their cadence.
+        b.lastPbRefreshAt = c;
     }
 
     Cycle bound = static_cast<Cycle>(params_.refreshPostponeMax + 1) *
@@ -298,6 +308,58 @@ ProtocolChecker::checkRefresh(const CmdEvent &ev)
     r.refreshEndAt = c + timing_.tRFC;
     r.lastRefreshAt = c;
     r.refreshedOnce = true;
+}
+
+void
+ProtocolChecker::checkRefreshBank(const CmdEvent &ev)
+{
+    ShadowBank &b = bankOf(ev);
+    const Cycle c = ev.cycle;
+
+    if (b.open)
+        flag(Violation::RefreshPbOpenBank, ev,
+             "per-bank refresh while the bank has an open row");
+    if (c < b.actReadyTRP)
+        flag(Violation::TimingTRP, ev,
+             tooEarly("tRP before per-bank refresh", b.actReadyTRP, c));
+    if (c < b.actReadyTRC)
+        flag(Violation::TimingTRC, ev,
+             tooEarly("tRC before per-bank refresh", b.actReadyTRC, c));
+
+    // Each bank must see a refresh (REFpb or all-bank) once per tREFI,
+    // within the same postpone window as the all-bank cadence.
+    Cycle bound = static_cast<Cycle>(params_.refreshPostponeMax + 1) *
+        timing_.tREFI;
+    if (c > b.lastPbRefreshAt + bound)
+        flag(Violation::RefreshPbLate, ev,
+             "per-bank inter-refresh gap " +
+                 std::to_string(c - b.lastPbRefreshAt) +
+                 " exceeds bound " + std::to_string(bound));
+
+    // A REFpb issued on behalf of a thread must target a bank whose
+    // color was at some point in that thread's partition — per-bank
+    // refresh must never disturb a foreign partition's timing state.
+    // (Engine-issued refreshes carry kInvalidThread and are exempt.)
+    if (ev.tid >= 0 &&
+        static_cast<std::size_t>(ev.tid) < everAllowed_.size()) {
+        const auto &ever =
+            everAllowed_[static_cast<std::size_t>(ev.tid)];
+        if (!ever.empty()) {
+            unsigned color =
+                (ev.channel * geom_.ranksPerChannel + ev.rank) *
+                    geom_.banksPerRank + ev.bank;
+            if (color >= ever.size() || !ever[color]) {
+                std::ostringstream os;
+                os << "per-bank refresh for thread " << ev.tid
+                   << " touches bank color " << color
+                   << " outside its partition";
+                flag(Violation::RefreshPbForeign, ev, os.str());
+            }
+        }
+    }
+
+    b.pbRefreshEndAt = c + timing_.tRFCpb;
+    b.lastPbRefreshAt = c;
 }
 
 void
@@ -318,6 +380,16 @@ ProtocolChecker::onCommand(const CmdEvent &ev)
         flag(Violation::TimingTRFC, ev,
              tooEarly("tRFC after refresh", r.refreshEndAt, ev.cycle));
 
+    // Nor a bank whose per-bank refresh is still in flight (an
+    // all-bank REF checks this per bank in checkRefresh).
+    if (ev.cmd != DramCmd::Refresh) {
+        ShadowBank &b = bankOf(ev);
+        if (ev.cycle < b.pbRefreshEndAt)
+            flag(Violation::TimingTRFCpb, ev,
+                 tooEarly("tRFCpb after per-bank refresh",
+                          b.pbRefreshEndAt, ev.cycle));
+    }
+
     switch (ev.cmd) {
       case DramCmd::Activate:
         checkActivate(ev);
@@ -335,6 +407,9 @@ ProtocolChecker::onCommand(const CmdEvent &ev)
         break;
       case DramCmd::Refresh:
         checkRefresh(ev);
+        break;
+      case DramCmd::RefreshBank:
+        checkRefreshBank(ev);
         break;
     }
 }
@@ -383,22 +458,35 @@ ProtocolChecker::onFrameAllocated(ThreadId tid, unsigned color)
 void
 ProtocolChecker::finalize(Cycle now)
 {
+    if (!params_.expectRefresh)
+        return; // refresh disabled by configuration: nothing is owed.
     Cycle bound = static_cast<Cycle>(params_.refreshPostponeMax + 1) *
         timing_.tREFI;
     for (unsigned ch = 0; ch < ranks_.size(); ++ch) {
         for (unsigned rk = 0; rk < ranks_[ch].size(); ++rk) {
             const ShadowRank &r = ranks_[ch][rk];
-            if (now > r.lastRefreshAt + bound) {
-                CmdEvent ev;
-                ev.channel = ch;
-                ev.cmd = DramCmd::Refresh;
-                ev.rank = rk;
-                ev.cycle = now;
-                flag(Violation::RefreshLate, ev,
-                     "rank not refreshed within " +
-                         std::to_string(bound) +
-                         " cycles of end of run");
+            if (now <= r.lastRefreshAt + bound)
+                continue; // covered by all-bank REFs.
+            // A rank is equally covered when every one of its banks
+            // kept its own per-bank cadence (REFpb mode).
+            bool pb_covered = true;
+            for (const ShadowBank &b : banks_[ch][rk]) {
+                if (now > b.lastPbRefreshAt + bound) {
+                    pb_covered = false;
+                    break;
+                }
             }
+            if (pb_covered)
+                continue;
+            CmdEvent ev;
+            ev.channel = ch;
+            ev.cmd = DramCmd::Refresh;
+            ev.rank = rk;
+            ev.cycle = now;
+            flag(Violation::RefreshLate, ev,
+                 "rank not refreshed within " +
+                     std::to_string(bound) +
+                     " cycles of end of run");
         }
     }
 }

@@ -13,13 +13,16 @@
  * Checked timing constraints (per the DramTiming in force):
  *   tRCD, tRP, tRAS, tRC, tCCD, tRRD, tWTR, tWR, tRTP, tFAW (four
  *   activates per rolling window), tRFC (nothing to a refreshing
- *   rank), refresh cadence (inter-REF gap bounded by the JEDEC
- *   pull-in/postpone window), and data-bus occupancy incl. tRTRS.
+ *   rank), tRFCpb (nothing to a bank inside its per-bank refresh
+ *   window), refresh cadence (inter-REF gap bounded by the JEDEC
+ *   pull-in/postpone window, per rank for REF and per bank for
+ *   REFpb), and data-bus occupancy incl. tRTRS.
  *
  * Structural invariants:
  *   no ACT to an open bank, no column command to a closed bank or to
  *   the wrong open row, no PRE to a closed bank, no REF over open
- *   banks.
+ *   banks, no REFpb to an open bank, no REFpb charged to a thread
+ *   whose partition never contained the bank.
  *
  * Partitioning invariants (fed by OsMemory through PartitionObserver):
  *   allocation containment — a frame allocated for a thread must have
@@ -77,11 +80,15 @@ enum class Violation
     DataBusConflict,  ///< data bursts overlap / tRTRS violated.
     PartitionAccess,  ///< access to a color never assigned to the thread.
     PartitionAlloc,   ///< frame allocated outside the thread's color set.
+    TimingTRFCpb,     ///< command to a bank inside its REFpb window.
+    RefreshPbOpenBank,///< REFpb while the target bank has an open row.
+    RefreshPbLate,    ///< a bank's REFpb cadence beyond the postpone bound.
+    RefreshPbForeign, ///< REFpb charged to a thread that never owned the bank.
 };
 
 /** Number of violation classes. */
 constexpr std::size_t kNumViolations =
-    static_cast<std::size_t>(Violation::PartitionAlloc) + 1;
+    static_cast<std::size_t>(Violation::RefreshPbForeign) + 1;
 
 /** Short stable name of a violation class (stat keys, messages). */
 const char *violationName(Violation v);
@@ -101,6 +108,15 @@ struct ProtocolCheckerParams
      * (refreshPostponeMax + 1) * tREFI.
      */
     unsigned refreshPostponeMax = 8;
+
+    /**
+     * Whether the run is expected to refresh at all. When false
+     * (refresh mode "none"), the cadence checks that observe the
+     * *absence* of refreshes — finalize()'s end-of-run bound — are
+     * skipped; the per-command checks still apply to any REF/REFpb
+     * that does appear.
+     */
+    bool expectRefresh = true;
 };
 
 /**
@@ -182,6 +198,8 @@ class ProtocolChecker : public CommandObserver, public PartitionObserver
         Cycle preReadyTRAS = 0; ///< last ACT + tRAS.
         Cycle preReadyTWR = 0;  ///< last write data end + tWR.
         Cycle preReadyTRTP = 0; ///< last RD + tRTP.
+        Cycle pbRefreshEndAt = 0;  ///< in-flight REFpb completes here.
+        Cycle lastPbRefreshAt = 0; ///< cycle of the last REFpb.
     };
 
     /** Shadow per-rank state. */
@@ -219,6 +237,7 @@ class ProtocolChecker : public CommandObserver, public PartitionObserver
     void checkPrecharge(const CmdEvent &ev);
     void checkColumn(const CmdEvent &ev, bool is_write);
     void checkRefresh(const CmdEvent &ev);
+    void checkRefreshBank(const CmdEvent &ev);
     void checkDataBus(const CmdEvent &ev, bool is_write);
     void checkPartitionAccess(const CmdEvent &ev);
 

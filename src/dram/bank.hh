@@ -36,6 +36,13 @@ struct BankState
 
     /** Earliest cycle a WRITE may issue (tRCD after ACT). */
     Cycle nextWrite = 0;
+
+    /** End of an in-flight per-bank refresh (REFpb); the next* fields
+     *  are pushed past it, this records it for introspection. */
+    Cycle refreshUntil = 0;
+
+    /** True while a per-bank refresh occupies this bank at @p now. */
+    bool refreshing(Cycle now) const { return now < refreshUntil; }
 };
 
 } // namespace dbpsim

@@ -17,6 +17,7 @@ dramCmdName(DramCmd cmd)
       case DramCmd::ReadAp: return "RDA";
       case DramCmd::WriteAp: return "WRA";
       case DramCmd::Refresh: return "REF";
+      case DramCmd::RefreshBank: return "REFpb";
     }
     DBP_PANIC("unreachable DramCmd");
 }
@@ -154,6 +155,12 @@ DramChannel::canIssue(DramCmd cmd, unsigned rank_idx, unsigned bank_idx,
         }
         return true;
       }
+      case DramCmd::RefreshBank: {
+        // Like an ACT slot: the target bank must be closed and past
+        // its precharge recovery; other banks are unaffected.
+        const BankState &b = banks_[rank_idx][bank_idx];
+        return !b.open && now >= b.nextActivate;
+      }
     }
     DBP_PANIC("unreachable DramCmd");
 }
@@ -250,6 +257,17 @@ DramChannel::issue(DramCmd cmd, unsigned rank_idx, unsigned bank_idx,
         r.refreshDoneAt = now + timing_.tRFC;
         r.refreshDueAt += timing_.tREFI;
         statRefreshes.inc();
+        return 0;
+      }
+      case DramCmd::RefreshBank: {
+        BankState &b = banks_[rank_idx][bank_idx];
+        Cycle until = now + timing_.tRFCpb;
+        b.refreshUntil = until;
+        b.nextActivate = std::max(b.nextActivate, until);
+        b.nextPrecharge = std::max(b.nextPrecharge, until);
+        b.nextRead = std::max(b.nextRead, until);
+        b.nextWrite = std::max(b.nextWrite, until);
+        statRefreshesPb.inc();
         return 0;
       }
     }

@@ -36,6 +36,7 @@ enum class DramCmd
     ReadAp,  ///< READ with auto-precharge (closed-page policy).
     WriteAp, ///< WRITE with auto-precharge.
     Refresh, ///< all-bank auto-refresh (rank granular).
+    RefreshBank, ///< per-bank refresh (only the target bank blocked).
 };
 
 /** Printable command name. */
@@ -123,6 +124,7 @@ class DramChannel
     StatScalar statReads;
     StatScalar statWrites;
     StatScalar statRefreshes;
+    StatScalar statRefreshesPb; ///< per-bank REFpb commands.
     /// @}
 
   private:

@@ -16,7 +16,8 @@ dramEnergy(const DramChannel &channel, Cycle cycles,
     out.readNj = count(channel.statReads) * params.readPj * 1e-3;
     out.writeNj = count(channel.statWrites) * params.writePj * 1e-3;
     out.refreshNj =
-        count(channel.statRefreshes) * params.refreshPj * 1e-3;
+        count(channel.statRefreshes) * params.refreshPj * 1e-3 +
+        count(channel.statRefreshesPb) * params.refreshPerBankPj * 1e-3;
 
     double seconds = static_cast<double>(cycles) *
         static_cast<double>(channel.timing().tckPs) * 1e-12;

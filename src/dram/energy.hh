@@ -24,6 +24,10 @@ struct DramEnergyParams
     double readPj = 2100.0;      ///< one READ burst.
     double writePj = 2200.0;     ///< one WRITE burst.
     double refreshPj = 25000.0;  ///< one all-bank refresh.
+    /** One per-bank refresh (REFpb). Slightly above refreshPj / 8:
+     *  splitting a rank refresh into eight bank refreshes repeats the
+     *  command/peripheral overhead per bank. */
+    double refreshPerBankPj = 3400.0;
     double backgroundMwPerRank = 75.0; ///< standby power per rank.
 };
 

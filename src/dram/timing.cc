@@ -27,6 +27,19 @@ DramTiming::validate() const
         os << name << ": tREFI (" << tREFI << ") <= tRFC (" << tRFC << ")";
         return os.str();
     }
+    if (tREFI > 0 && tRFC == 0) {
+        os << name << ": tREFI (" << tREFI << ") set but tRFC is zero";
+        return os.str();
+    }
+    if (tRFCpb > tRFC) {
+        os << name << ": tRFCpb (" << tRFCpb << ") > tRFC (" << tRFC
+           << ")";
+        return os.str();
+    }
+    if (tRFC > 0 && tRFCpb == 0) {
+        os << name << ": tRFC (" << tRFC << ") set but tRFCpb is zero";
+        return os.str();
+    }
     return std::string();
 }
 
@@ -56,8 +69,10 @@ ddr3_1333()
     t.tFAW = 20;
     t.tBURST = 4;
     t.tRTRS = 2;
+    // 7.8 us / 1.5 ns and 160 ns (2 Gb) / 1.5 ns, rounded.
     t.tREFI = 5200;
     t.tRFC = 107;
+    t.tRFCpb = 54;
     return t;
 }
 
@@ -81,8 +96,10 @@ ddr3_1066()
     t.tFAW = 16;
     t.tBURST = 4;
     t.tRTRS = 2;
+    // 7.8 us / 1.875 ns and 160 ns (2 Gb) / 1.875 ns, rounded.
     t.tREFI = 4160;
     t.tRFC = 86;
+    t.tRFCpb = 43;
     return t;
 }
 

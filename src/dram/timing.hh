@@ -43,13 +43,15 @@ struct DramTiming
     Cycle tFAW = 24;   ///< window for at most four ACTs per rank.
     Cycle tBURST = 4;  ///< data burst length on the bus (BL8 / 2).
     Cycle tRTRS = 2;   ///< rank-to-rank data-bus switch penalty.
-    Cycle tREFI = 6240;///< average refresh interval.
-    Cycle tRFC = 128;  ///< refresh cycle time.
+    Cycle tREFI = 6240;///< average refresh interval (7.8 us).
+    Cycle tRFC = 128;  ///< all-bank refresh cycle time (160 ns, 2 Gb).
+    Cycle tRFCpb = 64; ///< per-bank refresh cycle time (REFpb).
 
     /**
-     * Sanity-check internal consistency (e.g. tRC >= tRAS + tRP).
-     * Returns an empty string when valid, else a description of the
-     * first violated relation.
+     * Sanity-check internal consistency (e.g. tRC >= tRAS + tRP, the
+     * refresh relations tRFC < tREFI and tRFCpb <= tRFC). Returns an
+     * empty string when valid, else a description of the first
+     * violated relation.
      */
     std::string validate() const;
 };

@@ -13,7 +13,8 @@ MemoryController::MemoryController(unsigned channel_id,
                                    Scheduler *scheduler,
                                    ThreadProfiler *profiler)
     : map_(map), params_(params),
-      channel_(map.geometry(), timing, channel_id), scheduler_(scheduler),
+      channel_(map.geometry(), timing, channel_id),
+      refresh_(channel_, this, params.refresh), scheduler_(scheduler),
       profiler_(profiler)
 {
     DBP_ASSERT(scheduler_ != nullptr, "controller needs a scheduler");
@@ -27,7 +28,6 @@ MemoryController::MemoryController(unsigned channel_id,
     lastColumnUse_.assign(static_cast<std::size_t>(
         map.geometry().ranksPerChannel) * map.geometry().banksPerRank,
         0);
-    rankRefreshBlocked_.resize(map.geometry().ranksPerChannel);
     readQ_.reserve(params_.readQueueSize);
     writeQ_.reserve(params_.writeQueueSize);
     scheduler_->attachQueueView(this);
@@ -181,34 +181,27 @@ MemoryController::completeReads(Cycle now)
 }
 
 bool
-MemoryController::serviceRefresh(Cycle now)
+MemoryController::hasBankDemand(unsigned rank, unsigned bank) const
 {
-    bool issued = false;
-    for (unsigned r = 0; r < channel_.numRanks(); ++r) {
-        rankRefreshBlocked_[r] = false;
-        if (!channel_.refreshPending(r, now))
-            continue;
-        rankRefreshBlocked_[r] = true;
-        if (issued)
-            continue; // command bus already used this cycle.
-        if (channel_.canIssue(DramCmd::Refresh, r, 0, 0, now)) {
-            channel_.issue(DramCmd::Refresh, r, 0, 0, now);
-            rankRefreshBlocked_[r] = false;
-            issued = true;
-            continue;
-        }
-        // Close open banks so the refresh can start.
-        for (unsigned b = 0; b < channel_.numBanks(); ++b) {
-            const BankState &bs = channel_.bank(r, b);
-            if (bs.open &&
-                channel_.canIssue(DramCmd::Precharge, r, b, 0, now)) {
-                channel_.issue(DramCmd::Precharge, r, b, 0, now);
-                issued = true;
-                break;
-            }
-        }
-    }
-    return issued;
+    for (const auto &req : readQ_)
+        if (req.coord.rank == rank && req.coord.bank == bank)
+            return true;
+    for (const auto &req : writeQ_)
+        if (req.coord.rank == rank && req.coord.bank == bank)
+            return true;
+    return false;
+}
+
+bool
+MemoryController::hasRankDemand(unsigned rank) const
+{
+    for (const auto &req : readQ_)
+        if (req.coord.rank == rank)
+            return true;
+    for (const auto &req : writeQ_)
+        if (req.coord.rank == rank)
+            return true;
+    return false;
 }
 
 void
@@ -279,7 +272,7 @@ MemoryController::issueFromQueue(std::vector<MemRequest> &queue,
     if (queue.empty())
         return false;
 
-    SchedContext ctx{channel_, now};
+    SchedContext ctx{channel_, now, &refresh_};
 
     // Pass 1: per (rank, bank), find the highest-priority queued
     // request that is a row hit — the precharge guard. A request may
@@ -300,9 +293,10 @@ MemoryController::issueFromQueue(std::vector<MemRequest> &queue,
     // pick the highest-priority one.
     std::size_t best_idx = queue.size();
     NextCmd best_cmd;
+    bool best_boost = false;
     for (std::size_t i = 0; i < queue.size(); ++i) {
         const MemRequest &req = queue[i];
-        if (rankRefreshBlocked_[req.coord.rank])
+        if (refresh_.blocks(req.coord.rank, req.coord.bank))
             continue;
         NextCmd nc = nextCommandFor(req, queue);
         if (nc.cmd == DramCmd::Precharge) {
@@ -315,10 +309,18 @@ MemoryController::issueFromQueue(std::vector<MemRequest> &queue,
         if (!channel_.canIssue(nc.cmd, req.coord.rank, req.coord.bank,
                                nc.row, now))
             continue;
-        if (best_idx == queue.size() ||
-            scheduler_->higherPriority(req, queue[best_idx], ctx)) {
+        // Refresh-aware arbitration: requests on a bank whose refresh
+        // debt is nearly exhausted drain first, so the bank goes idle
+        // before the refresh turns urgent. drainBoost() is always
+        // false outside aware mode, leaving the order untouched.
+        const bool boost =
+            refresh_.drainBoost(req.coord.rank, req.coord.bank);
+        if (best_idx == queue.size() || (boost && !best_boost) ||
+            (boost == best_boost &&
+             scheduler_->higherPriority(req, queue[best_idx], ctx))) {
             best_idx = i;
             best_cmd = nc;
+            best_boost = boost;
         }
     }
     if (best_idx == queue.size())
@@ -378,6 +380,7 @@ MemoryController::issueFromQueue(std::vector<MemRequest> &queue,
         return true;
       }
       case DramCmd::Refresh:
+      case DramCmd::RefreshBank:
         DBP_PANIC("refresh cannot come from the request path");
     }
     return false;
@@ -427,7 +430,7 @@ MemoryController::tick(Cycle now)
 {
     completeReads(now);
 
-    if (serviceRefresh(now))
+    if (refresh_.tick(now))
         return; // command bus consumed by refresh management.
 
     updateDrainMode();

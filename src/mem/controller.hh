@@ -21,6 +21,7 @@
 #include "common/types.hh"
 #include "dram/addr_map.hh"
 #include "dram/channel.hh"
+#include "dram/refresh.hh"
 #include "mem/profiler.hh"
 #include "mem/request.hh"
 #include "mem/scheduler.hh"
@@ -56,6 +57,7 @@ struct ControllerParams
     Cycle forwardLatency = 2;      ///< write-to-read forward latency.
     PagePolicy pagePolicy = PagePolicy::Open;
     Cycle rowIdleTimeout = 100;    ///< OpenAdaptive idle-close bound.
+    RefreshParams refresh;         ///< refresh mode / window / DARP.
 };
 
 /**
@@ -74,7 +76,7 @@ struct ControllerThreadStats
 /**
  * The controller.
  */
-class MemoryController : public QueueView
+class MemoryController : public QueueView, public RefreshDemandView
 {
   public:
     /**
@@ -109,6 +111,12 @@ class MemoryController : public QueueView
     void forEachPendingRead(
         const std::function<void(MemRequest &)> &fn) override;
 
+    /** RefreshDemandView: queued read/write for (rank, bank)? */
+    bool hasBankDemand(unsigned rank, unsigned bank) const override;
+
+    /** RefreshDemandView: queued read/write for the rank at all? */
+    bool hasRankDemand(unsigned rank) const override;
+
     /** Charge page-migration traffic to a bank (cost model). */
     void applyMigrationCost(unsigned rank, unsigned bank, Cycle now,
                             Cycle busy_cycles);
@@ -127,6 +135,9 @@ class MemoryController : public QueueView
 
     /** The DRAM channel (tests, energy reporting). */
     const DramChannel &channel() const { return channel_; }
+
+    /** The refresh engine (tests, stats). */
+    const RefreshEngine &refreshEngine() const { return refresh_; }
 
     /**
      * Attach a command observer (protocol checker) to this
@@ -177,9 +188,6 @@ class MemoryController : public QueueView
     /** Deliver finished reads at or before @p now. */
     void completeReads(Cycle now);
 
-    /** Progress refresh; true if a command was issued this cycle. */
-    bool serviceRefresh(Cycle now);
-
     /** Recompute write-drain mode from queue depths. */
     void updateDrainMode();
 
@@ -200,6 +208,7 @@ class MemoryController : public QueueView
     const AddressMap &map_;
     ControllerParams params_;
     DramChannel channel_;
+    RefreshEngine refresh_;
     Scheduler *scheduler_;
     ThreadProfiler *profiler_;
 
@@ -233,7 +242,6 @@ class MemoryController : public QueueView
     std::vector<Cycle> lastColumnUse_;
     bool writeMode_ = false;
     std::uint64_t nextReqId_ = 0;
-    std::vector<bool> rankRefreshBlocked_; ///< scratch, per tick.
 };
 
 } // namespace dbpsim

@@ -49,6 +49,10 @@ aloneRunSignature(const RunConfig &rc)
        << p.controller.forwardLatency << '/'
        << static_cast<int>(p.controller.pagePolicy) << '/'
        << p.controller.rowIdleTimeout
+       << ";refresh=" << refreshModeName(p.controller.refresh.mode)
+       << '/' << p.controller.refresh.aware << '/'
+       << p.controller.refresh.postponeMax << '/' << p.trefiOverride
+       << '/' << p.trfcOverride << '/' << p.trfcPbOverride
        << ";cache=" << p.cacheEnabled;
     if (p.cacheEnabled)
         os << '/' << p.cache.sizeBytes << '/' << p.cache.associativity

@@ -66,6 +66,24 @@ SystemParams::applyConfig(const Config &config)
 
     controller.rowIdleTimeout = config.getUInt(
         "row_idle_timeout", controller.rowIdleTimeout);
+
+    if (config.has("refresh")) {
+        std::string r = config.getString("refresh", "allbank");
+        if (r == "darp") { // shorthand: per-bank + refresh-aware.
+            controller.refresh.mode = RefreshMode::PerBank;
+            controller.refresh.aware = true;
+        } else {
+            controller.refresh.mode = refreshModeByName(r);
+        }
+    }
+    controller.refresh.aware = config.getBool("refresh_aware",
+                                              controller.refresh.aware);
+    controller.refresh.postponeMax = static_cast<unsigned>(
+        config.getUInt("refresh_postpone",
+                       controller.refresh.postponeMax));
+    trefiOverride = config.getUInt("trefi", trefiOverride);
+    trfcOverride = config.getUInt("trfc", trfcOverride);
+    trfcPbOverride = config.getUInt("trfc_pb", trfcPbOverride);
     scheduler = config.getString("sched", scheduler);
     partition = config.getString("part", partition);
 
@@ -120,7 +138,10 @@ SystemParams::summary() const
        << geometry.ranksPerChannel << "rk x " << geometry.banksPerRank
        << "bk (" << geometry.totalBanks() << " banks), " << timingName
        << ", sched=" << scheduler << ", part=" << partition
-       << ", map=" << mapSchemeName(scheme);
+       << ", map=" << mapSchemeName(scheme)
+       << ", refresh=" << refreshModeName(controller.refresh.mode);
+    if (controller.refresh.aware)
+        os << "+aware";
     return os.str();
 }
 

@@ -44,6 +44,14 @@ struct SystemParams
     /** DDR timing preset name. */
     std::string timingName = "ddr3-1600";
 
+    /** @name Refresh timing overrides (0 = keep the preset value).
+     *  Config keys "trefi", "trfc", "trfc_pb". */
+    /// @{
+    Cycle trefiOverride = 0;
+    Cycle trfcOverride = 0;
+    Cycle trfcPbOverride = 0;
+    /// @}
+
     /** Address-mapping scheme (page interleave enables coloring). */
     MapScheme scheme = MapScheme::PageInterleave;
 
@@ -101,8 +109,18 @@ struct SystemParams
     /** Apply key=value overrides (see README for the key list). */
     void applyConfig(const Config &config);
 
-    /** Resolve the timing preset. */
-    DramTiming timing() const { return dramTimingByName(timingName); }
+    /** Resolve the timing preset (with any refresh overrides). */
+    DramTiming timing() const
+    {
+        DramTiming t = dramTimingByName(timingName);
+        if (trefiOverride)
+            t.tREFI = trefiOverride;
+        if (trfcOverride)
+            t.tRFC = trfcOverride;
+        if (trfcPbOverride)
+            t.tRFCpb = trfcPbOverride;
+        return t;
+    }
 
     /** One-line summary for logs. */
     std::string summary() const;

@@ -23,6 +23,9 @@ System::System(const SystemParams &params,
     if (params_.protocolCheck) {
         ProtocolCheckerParams cpp;
         cpp.failFast = params_.checkFailFast;
+        cpp.refreshPostponeMax = params_.controller.refresh.postponeMax;
+        cpp.expectRefresh =
+            params_.controller.refresh.mode != RefreshMode::None;
         checker_ = std::make_unique<ProtocolChecker>(
             params_.geometry, timing, params_.numCores, cpp);
     }
@@ -244,6 +247,7 @@ System::dumpStats(std::ostream &os) const
         g.addScalar("dram_reads", &mc.channel().statReads);
         g.addScalar("dram_writes", &mc.channel().statWrites);
         g.addScalar("dram_refreshes", &mc.channel().statRefreshes);
+        g.addScalar("dram_refreshes_pb", &mc.channel().statRefreshesPb);
         g.dump(os);
     }
 

@@ -62,6 +62,40 @@ TEST(Timing, InvalidRelationsDetected)
     EXPECT_FALSE(t.validate().empty());
 }
 
+TEST(Timing, InvalidRefreshRelationsDetected)
+{
+    DramTiming t = ddr3_1600();
+    t.tRFC = 0; // refresh scheduled (tREFI > 0) but takes no time.
+    EXPECT_FALSE(t.validate().empty());
+
+    t = ddr3_1600();
+    t.tRFCpb = t.tRFC + 1; // per-bank refresh slower than all-bank.
+    EXPECT_FALSE(t.validate().empty());
+
+    t = ddr3_1600();
+    t.tRFCpb = 0; // all-bank refresh exists but per-bank is free.
+    EXPECT_FALSE(t.validate().empty());
+}
+
+TEST(Timing, RefreshPresetValues)
+{
+    DramTiming t1600 = dramTimingByName("ddr3-1600");
+    EXPECT_EQ(t1600.tREFI, 6240u);
+    EXPECT_EQ(t1600.tRFC, 128u);
+    EXPECT_EQ(t1600.tRFCpb, 64u);
+
+    // 7.8 us / 1.5 ns and 160 ns / 1.5 ns for DDR3-1333.
+    DramTiming t1333 = dramTimingByName("ddr3-1333");
+    EXPECT_EQ(t1333.tREFI, 5200u);
+    EXPECT_EQ(t1333.tRFC, 107u);
+    EXPECT_EQ(t1333.tRFCpb, 54u);
+
+    DramTiming t1066 = dramTimingByName("ddr3-1066");
+    EXPECT_EQ(t1066.tREFI, 4160u);
+    EXPECT_EQ(t1066.tRFC, 86u);
+    EXPECT_EQ(t1066.tRFCpb, 43u);
+}
+
 TEST(Channel, ActivateThenReadHonorsTrcd)
 {
     DramTiming t = ddr3_1600();
@@ -238,6 +272,80 @@ TEST(Channel, RefreshPendingTracksDeadline)
     EXPECT_FALSE(ch.refreshPending(1, t.tREFI + 1));
 }
 
+TEST(Channel, RefreshBankBlocksOnlyTargetBank)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+
+    ASSERT_TRUE(ch.canIssue(DramCmd::RefreshBank, 0, 2, 0, 10));
+    ch.issue(DramCmd::RefreshBank, 0, 2, 0, 10);
+    EXPECT_TRUE(ch.bank(0, 2).refreshing(10 + t.tRFCpb - 1));
+    EXPECT_FALSE(ch.bank(0, 2).refreshing(10 + t.tRFCpb));
+
+    // The refreshing bank accepts nothing until tRFCpb elapses...
+    EXPECT_FALSE(ch.canIssue(DramCmd::Activate, 0, 2, 1,
+                             10 + t.tRFCpb - 1));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 0, 2, 1, 10 + t.tRFCpb));
+    // ...while its neighbours keep serving immediately.
+    EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 0, 3, 1, 11));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 1, 2, 1, 11));
+}
+
+TEST(Channel, RefreshBankRequiresClosedBank)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    ch.issue(DramCmd::Activate, 0, 2, 5, 0);
+    EXPECT_FALSE(ch.canIssue(DramCmd::RefreshBank, 0, 2, 0, t.tRAS));
+    ch.issue(DramCmd::Precharge, 0, 2, 0, t.tRAS);
+    EXPECT_FALSE(ch.canIssue(DramCmd::RefreshBank, 0, 2, 0,
+                             t.tRAS + t.tRP - 1));
+    EXPECT_TRUE(ch.canIssue(DramCmd::RefreshBank, 0, 2, 0,
+                            t.tRAS + t.tRP));
+}
+
+TEST(Channel, AllBankRefreshWaitsForInFlightPerBankRefresh)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    ch.issue(DramCmd::RefreshBank, 0, 0, 0, 10);
+    EXPECT_FALSE(ch.canIssue(DramCmd::Refresh, 0, 0, 0,
+                             10 + t.tRFCpb - 1));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Refresh, 0, 0, 0, 10 + t.tRFCpb));
+}
+
+TEST(Channel, PerBankRefreshCountsSeparately)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch = freshChannel(t);
+    ch.issue(DramCmd::RefreshBank, 0, 0, 0, 10);
+    ch.issue(DramCmd::RefreshBank, 0, 1, 0, 11);
+    ch.issue(DramCmd::Refresh, 1, 0, 0, 12);
+    EXPECT_EQ(ch.statRefreshesPb.value(), 2u);
+    EXPECT_EQ(ch.statRefreshes.value(), 1u);
+}
+
+TEST(Energy, RefreshTermCoversBothGranularities)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel all = freshChannel(t);
+    all.issue(DramCmd::Refresh, 0, 0, 0, 100);
+    EXPECT_GT(dramEnergy(all, 1'000'000).refreshNj, 0.0);
+
+    DramChannel pb = freshChannel(t);
+    pb.issue(DramCmd::RefreshBank, 0, 0, 0, 100);
+    EXPECT_GT(dramEnergy(pb, 1'000'000).refreshNj, 0.0);
+
+    // One all-bank REF covers eight banks; it must cost more than a
+    // single per-bank REFpb but less than eight of them.
+    double one_all = dramEnergy(all, 1'000'000).refreshNj -
+                     dramEnergy(freshChannel(t), 1'000'000).refreshNj;
+    double one_pb = dramEnergy(pb, 1'000'000).refreshNj -
+                    dramEnergy(freshChannel(t), 1'000'000).refreshNj;
+    EXPECT_GT(one_all, one_pb);
+    EXPECT_LT(one_all, 8.0 * one_pb);
+}
+
 TEST(Channel, BlockBankDelaysAllCommands)
 {
     DramTiming t = ddr3_1600();
@@ -281,6 +389,7 @@ TEST(Channel, CmdNamesPrintable)
 {
     EXPECT_STREQ(dramCmdName(DramCmd::Activate), "ACT");
     EXPECT_STREQ(dramCmdName(DramCmd::Refresh), "REF");
+    EXPECT_STREQ(dramCmdName(DramCmd::RefreshBank), "REFpb");
 }
 
 } // namespace

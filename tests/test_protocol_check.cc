@@ -23,6 +23,7 @@
 #include "check/protocol_check.hh"
 #include "common/random.hh"
 #include "dram/channel.hh"
+#include "dram/refresh.hh"
 #include "sim/experiment.hh"
 #include "sim/schemes.hh"
 #include "sim/system.hh"
@@ -323,6 +324,138 @@ TEST(ProtocolCheck, FinalizeFlagsUnrefreshedRanks)
     EXPECT_EQ(pc.violations(Violation::RefreshLate), 2u);
 }
 
+TEST(ProtocolCheck, CommandDuringPerBankRefreshFlagsTrfcPb)
+{
+    DramTiming tm = ddr3_1600();
+    ProtocolChecker pc(geo(), tm, 1);
+    pc.onCommand(ev(DramCmd::RefreshBank, 0, 0, 0, 0));
+    // The refreshing bank accepts nothing inside tRFCpb...
+    pc.onCommand(ev(DramCmd::Activate, 0, 0, 1, tm.tRFCpb - 1));
+    EXPECT_EQ(pc.violations(Violation::TimingTRFCpb), 1u);
+    EXPECT_EQ(pc.violations(), 1u) << pc.lastViolation();
+    // ...but a neighbouring bank of the same rank is unaffected.
+    pc.onCommand(ev(DramCmd::Activate, 0, 1, 1,
+                    tm.tRFCpb - 1 + tm.tRRD));
+    EXPECT_EQ(pc.violations(), 1u) << pc.lastViolation();
+}
+
+TEST(ProtocolCheck, AllBankRefreshDuringPerBankRefreshFlagsTrfcPb)
+{
+    DramTiming tm = ddr3_1600();
+    ProtocolChecker pc(geo(), tm, 1);
+    pc.onCommand(ev(DramCmd::RefreshBank, 0, 3, 0, 0));
+    pc.onCommand(ev(DramCmd::Refresh, 0, 0, 0, tm.tRFCpb - 1));
+    EXPECT_EQ(pc.violations(Violation::TimingTRFCpb), 1u);
+    EXPECT_EQ(pc.violations(), 1u) << pc.lastViolation();
+}
+
+TEST(ProtocolCheck, PerBankRefreshToOpenBankFlags)
+{
+    DramTiming tm = ddr3_1600();
+    ProtocolChecker pc(geo(), tm, 1);
+    pc.onCommand(ev(DramCmd::Activate, 0, 2, 1, 0));
+    pc.onCommand(ev(DramCmd::RefreshBank, 0, 2, 0, tm.tRC));
+    EXPECT_EQ(pc.violations(Violation::RefreshPbOpenBank), 1u);
+    EXPECT_EQ(pc.violations(), 1u) << pc.lastViolation();
+}
+
+TEST(ProtocolCheck, LatePerBankRefreshFlagsCadence)
+{
+    DramTiming tm = ddr3_1600();
+    ProtocolChecker pc(geo(), tm, 1);
+    Cycle bound =
+        static_cast<Cycle>(pc.params().refreshPostponeMax + 1) *
+        tm.tREFI;
+    pc.onCommand(ev(DramCmd::RefreshBank, 0, 0, 0, 0));
+    // Right at the bound: fine; one past it: the bank starved.
+    pc.onCommand(ev(DramCmd::RefreshBank, 0, 0, 0, bound));
+    EXPECT_EQ(pc.violations(), 0u) << pc.lastViolation();
+    pc.onCommand(ev(DramCmd::RefreshBank, 0, 0, 0, 2 * bound + 1));
+    EXPECT_EQ(pc.violations(Violation::RefreshPbLate), 1u);
+    EXPECT_EQ(pc.violations(), 1u) << pc.lastViolation();
+}
+
+TEST(ProtocolCheck, AllBankRefreshResetsPerBankCadence)
+{
+    DramTiming tm = ddr3_1600();
+    ProtocolChecker pc(geo(), tm, 1);
+    Cycle bound =
+        static_cast<Cycle>(pc.params().refreshPostponeMax + 1) *
+        tm.tREFI;
+    pc.onCommand(ev(DramCmd::RefreshBank, 0, 0, 0, 0));
+    // An all-bank REF refreshes every bank, restarting their clocks.
+    Cycle ref = bound - 10;
+    pc.onCommand(ev(DramCmd::Refresh, 0, 0, 0, ref));
+    pc.onCommand(ev(DramCmd::RefreshBank, 0, 0, 0, ref + bound));
+    EXPECT_EQ(pc.violations(), 0u) << pc.lastViolation();
+}
+
+TEST(ProtocolCheck, ForeignPerBankRefreshFlags)
+{
+    DramTiming tm = ddr3_1600();
+    ProtocolChecker pc(geo(), tm, 2);
+    pc.onColorSet(0, {0, 1});
+    // Engine-issued refreshes carry no thread and are always fine.
+    pc.onCommand(ev(DramCmd::RefreshBank, 1, 2, 0, 0));
+    // Thread 0 refreshing its own bank (color 1) is fine too.
+    pc.onCommand(ev(DramCmd::RefreshBank, 0, 1, 0, tm.tRRD, 0));
+    EXPECT_EQ(pc.violations(), 0u) << pc.lastViolation();
+    // rank 1 bank 3 = color 11 — never in thread 0's partition.
+    pc.onCommand(ev(DramCmd::RefreshBank, 1, 3, 0, 100, 0));
+    EXPECT_EQ(pc.violations(Violation::RefreshPbForeign), 1u);
+    EXPECT_EQ(pc.violations(), 1u) << pc.lastViolation();
+}
+
+TEST(ProtocolCheck, FinalizeAcceptsPerBankCoverage)
+{
+    DramTiming tm = ddr3_1600();
+    DramGeometry g = geo();
+    ProtocolChecker pc(g, tm, 1);
+    Cycle bound =
+        static_cast<Cycle>(pc.params().refreshPostponeMax + 1) *
+        tm.tREFI;
+    // Refresh every bank of both ranks per-bank style, no REF at all;
+    // place them late enough that the rank-level REF clock (never
+    // advanced here) is past its bound at finalize time.
+    Cycle now = bound - 16;
+    for (unsigned r = 0; r < g.ranksPerChannel; ++r)
+        for (unsigned b = 0; b < g.banksPerRank; ++b)
+            pc.onCommand(ev(DramCmd::RefreshBank, r, b, 0, now++));
+    EXPECT_EQ(pc.violations(), 0u) << pc.lastViolation();
+    pc.finalize(bound + 1);
+    EXPECT_EQ(pc.violations(), 0u) << pc.lastViolation();
+}
+
+TEST(ProtocolCheck, FinalizeFlagsPartialPerBankCoverage)
+{
+    DramTiming tm = ddr3_1600();
+    DramGeometry g = geo();
+    ProtocolChecker pc(g, tm, 1);
+    Cycle bound =
+        static_cast<Cycle>(pc.params().refreshPostponeMax + 1) *
+        tm.tREFI;
+    // Rank 0 covers all its banks; rank 1 skips bank 7.
+    Cycle now = bound - 20;
+    for (unsigned r = 0; r < g.ranksPerChannel; ++r)
+        for (unsigned b = 0; b < g.banksPerRank - (r == 1 ? 1 : 0); ++b)
+            pc.onCommand(ev(DramCmd::RefreshBank, r, b, 0, now++));
+    pc.finalize(bound + 1);
+    EXPECT_EQ(pc.violations(Violation::RefreshLate), 1u);
+    EXPECT_EQ(pc.violations(), 1u) << pc.lastViolation();
+}
+
+TEST(ProtocolCheck, FinalizeSkipsChecksWhenRefreshNotExpected)
+{
+    DramTiming tm = ddr3_1600();
+    ProtocolCheckerParams params;
+    params.expectRefresh = false; // refresh mode "none".
+    ProtocolChecker pc(geo(), tm, 1, params);
+    Cycle bound = static_cast<Cycle>(params.refreshPostponeMax + 1) *
+        tm.tREFI;
+    pc.finalize(10 * bound);
+    EXPECT_EQ(pc.violations(), 0u) << pc.lastViolation();
+}
+
 TEST(ProtocolCheck, RankSwitchWithoutTrtrsFlagsDataBus)
 {
     DramTiming tm = ddr3_1600();
@@ -552,6 +685,7 @@ makeSource(const std::string &name, double mpki, unsigned streams,
 
 TEST(ProtocolCheckSystem, PaperSchemesRunViolationFree)
 {
+    for (RefreshMode mode : {RefreshMode::AllBank, RefreshMode::PerBank})
     for (const char *name :
          {"FR-FCFS", "UBP", "DBP", "TCM", "DBP-TCM", "MCP"}) {
         SystemParams p;
@@ -559,6 +693,7 @@ TEST(ProtocolCheckSystem, PaperSchemesRunViolationFree)
         p.geometry.rowsPerBank = 4096;
         p.profileIntervalCpu = 60'000;
         p.protocolCheck = true;
+        p.controller.refresh.mode = mode;
         p = applyScheme(p, schemeByName(name));
 
         auto s0 = makeSource("stream", 25, 1, 128, 0.0, 11);
@@ -585,19 +720,30 @@ TEST(ProtocolCheckSystem, PaperSchemesRunViolationFree)
 
 TEST(ProtocolCheckExperiment, AllStandardSchemesPassFailFast)
 {
-    RunConfig rc;
-    rc.base.geometry.rowsPerBank = 4096;
-    rc.base.profileIntervalCpu = 60'000;
-    rc.base.protocolCheck = true;
-    rc.base.checkFailFast = true; // any violation panics the test.
-    rc.warmupCpu = 60'000;
-    rc.measureCpu = 150'000;
+    // Two legs: the default all-bank engine and the refresh-aware
+    // per-bank (DARP-style) engine, so every scheme runs fail-fast
+    // clean under both refresh granularities.
+    struct Leg { RefreshMode mode; bool aware; };
+    for (Leg leg : {Leg{RefreshMode::AllBank, false},
+                    Leg{RefreshMode::PerBank, true}}) {
+        RunConfig rc;
+        rc.base.geometry.rowsPerBank = 4096;
+        rc.base.profileIntervalCpu = 60'000;
+        rc.base.protocolCheck = true;
+        rc.base.checkFailFast = true; // any violation panics the test.
+        rc.base.controller.refresh.mode = leg.mode;
+        rc.base.controller.refresh.aware = leg.aware;
+        rc.warmupCpu = 60'000;
+        rc.measureCpu = 150'000;
 
-    ExperimentRunner runner(rc);
-    WorkloadMix mix{"check", {"libquantum", "omnetpp", "gcc", "mcf"}};
-    for (const Scheme &s : standardSchemes()) {
-        MixResult r = runner.runMix(mix, s);
-        EXPECT_GT(r.metrics.weightedSpeedup, 0.0) << s.name;
+        ExperimentRunner runner(rc);
+        WorkloadMix mix{"check",
+                        {"libquantum", "omnetpp", "gcc", "mcf"}};
+        for (const Scheme &s : standardSchemes()) {
+            MixResult r = runner.runMix(mix, s);
+            EXPECT_GT(r.metrics.weightedSpeedup, 0.0)
+                << s.name << " refresh=" << refreshModeName(leg.mode);
+        }
     }
 }
 
