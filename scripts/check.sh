@@ -3,25 +3,46 @@
 # Pre-merge gate: everything a change must survive before it lands.
 #
 #   1. Default build (-Werror -Wall -Wextra -Wconversion -Wshadow)
-#      and the full test suite.
-#   2. ASan+UBSan build with the DRAM protocol checker compiled in
+#      and the full test suite (which includes dbplint's fixture
+#      tests and the LintTreeClean gate).
+#   2. dbplint tree-wide: the project-specific determinism &
+#      consistency linter (tools/lint/, see DESIGN.md "Static
+#      analysis layer") must report zero findings.
+#   3. ASan+UBSan build with the DRAM protocol checker compiled in
 #      (DBPSIM_CHECK=ON) and the full test suite again.
-#   3. TSan build + the campaign/executor/refresh/protocol-check test
+#   4. TSan build + the campaign/executor/refresh/protocol-check test
 #      subset — the parallel experiment executor must be data-race
 #      free, and the refresh engine must stay checker-clean under it.
-#   4. clang-tidy over the files changed relative to the merge base
+#   5. clang-tidy over the files changed relative to the merge base,
+#      or over every file in compile_commands.json with --full
 #      (skipped with a note when clang-tidy is not installed).
+#   6. cppcheck over the same file set (skipped with a note when
+#      cppcheck is not installed).
 #
-# Usage: scripts/check.sh [base-ref]
-#   base-ref   Git ref to diff against for the clang-tidy step
-#              (default: main, falling back to HEAD~1).
+# Usage: scripts/check.sh [--full] [base-ref]
+#   --full     Lint every translation unit in compile_commands.json
+#              instead of only the changed set.
+#   base-ref   Git ref to diff against for the changed-file steps
+#              (default: main, falling back to HEAD~1; when no merge
+#              base resolves at all, the files touched by HEAD are
+#              linted so a detached or shallow checkout still gets a
+#              real lint run instead of a silent skip).
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo_root"
 
-base_ref="${1:-main}"
+full=0
+base_ref="main"
+for arg in "$@"; do
+    case "$arg" in
+      --full) full=1 ;;
+      -*) echo "check.sh: unknown option '$arg'" >&2; exit 2 ;;
+      *) base_ref="$arg" ;;
+    esac
+done
+
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 step() { printf '\n==== %s ====\n' "$*"; }
@@ -33,54 +54,83 @@ cmake --build --preset default -j "$jobs"
 ctest --preset default -j "$jobs"
 
 # ---------------------------------------------------------------- 2 --
+step "dbplint tree-wide"
+./build/tools/lint/dbplint --root=.
+
+# ---------------------------------------------------------------- 3 --
 step "ASan+UBSan build (protocol checker ON) + tests"
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$jobs"
 ctest --preset asan-ubsan -j "$jobs"
 
-# ---------------------------------------------------------------- 3 --
+# ---------------------------------------------------------------- 4 --
 step "TSan build + parallel-executor tests"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs" --target dbpsim_tests
 ctest --preset tsan -R 'Executor|Campaign|Refresh|ProtocolCheck'
 
-# ---------------------------------------------------------------- 4 --
-step "clang-tidy over changed files"
-if ! command -v clang-tidy >/dev/null 2>&1; then
-    echo "clang-tidy not installed; skipping lint step."
-    exit 0
+# -------------------------------------------------- file selection --
+# The clang-tidy and cppcheck steps share one file set: every
+# translation unit (--full) or the C++ files changed against the
+# merge base plus any local edits, falling back to the files HEAD
+# itself touched when no merge base resolves (first commit, detached
+# or shallow checkout) — previously that case skipped silently.
+if [ "$full" -eq 1 ]; then
+    changed="$(
+        grep -oE '"file": *"[^"]+"' build/compile_commands.json |
+            sed -E 's/.*"file": *"(.*)"/\1/' |
+            grep -F "$repo_root" | grep -v '_deps' | sort -u || true
+    )"
+else
+    if ! git rev-parse --verify --quiet "$base_ref" >/dev/null; then
+        base_ref="HEAD~1"
+    fi
+    merge_base="$(git merge-base "$base_ref" HEAD 2>/dev/null || echo "")"
+    changed="$(
+        {
+            if [ -n "$merge_base" ]; then
+                git diff --name-only "$merge_base" HEAD
+            else
+                git diff-tree --no-commit-id --name-only -r HEAD
+            fi
+            git diff --name-only
+            git diff --name-only --cached
+        } | sort -u | grep -E '\.(cc|hh|cpp|hpp)$' || true
+    )"
 fi
 
-if ! git rev-parse --verify --quiet "$base_ref" >/dev/null; then
-    base_ref="HEAD~1"
-fi
-merge_base="$(git merge-base "$base_ref" HEAD 2>/dev/null || echo "")"
-
-changed="$(
-    {
-        [ -n "$merge_base" ] && git diff --name-only "$merge_base" HEAD
-        git diff --name-only
-        git diff --name-only --cached
-    } | sort -u | grep -E '\.(cc|hh|cpp|hpp)$' || true
-)"
-
-if [ -z "$changed" ]; then
-    echo "no changed C++ files; nothing to lint."
-    exit 0
-fi
-
-# The default preset exports compile_commands.json for the tidy run.
 existing=()
 while IFS= read -r f; do
-    [ -f "$f" ] && existing+=("$f")
+    [ -n "$f" ] && [ -f "$f" ] && existing+=("$f")
 done <<<"$changed"
 
-if [ "${#existing[@]}" -eq 0 ]; then
-    echo "changed files no longer exist; nothing to lint."
-    exit 0
+# ---------------------------------------------------------------- 5 --
+if [ "$full" -eq 1 ]; then
+    step "clang-tidy over all translation units"
+else
+    step "clang-tidy over changed files"
+fi
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping this step."
+elif [ "${#existing[@]}" -eq 0 ]; then
+    echo "no C++ files to lint; nothing to do."
+else
+    # The default preset exports compile_commands.json for tidy.
+    clang-tidy -p build "${existing[@]}"
 fi
 
-clang-tidy -p build "${existing[@]}"
+# ---------------------------------------------------------------- 6 --
+step "cppcheck over the same file set"
+if ! command -v cppcheck >/dev/null 2>&1; then
+    echo "cppcheck not installed; skipping this step."
+elif [ "${#existing[@]}" -eq 0 ]; then
+    echo "no C++ files to lint; nothing to do."
+else
+    cppcheck --std=c++20 --language=c++ --enable=warning,portability \
+        --inline-suppr --error-exitcode=1 \
+        --suppress=missingIncludeSystem -I src -I . \
+        "${existing[@]}"
+fi
 
 echo
 echo "all checks passed."

@@ -26,6 +26,7 @@ struct CacheParams
     std::uint64_t sizeBytes = 512 * 1024; ///< total capacity.
     unsigned associativity = 8;           ///< ways per set.
     std::uint64_t lineBytes = 64;         ///< line size.
+    // dbplint:allow(cycle-literal) reason=L2 hit latency in CPU cycles (tab1 configuration), overridden by config key cache_hit_latency
     Cycle hitLatency = 12;                ///< CPU cycles on a hit.
 };
 

@@ -33,6 +33,14 @@ parseIntString(const std::string &text, const std::string &what)
     return v * mult;
 }
 
+bool
+envFlag(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+}
+
 void
 Config::set(const std::string &key, const std::string &value)
 {

@@ -76,6 +76,15 @@ class Config
  */
 std::int64_t parseIntString(const std::string &text, const std::string &what);
 
+/**
+ * True iff environment variable @p name is set to a non-empty value
+ * other than "0". The one sanctioned environment probe: ambient state
+ * must flow through here (dbplint determinism/banned-getenv) so every
+ * env-sensitive switch is grep-able and none can reach results —
+ * callers may gate debug *output* on it, never simulated behaviour.
+ */
+bool envFlag(const char *name);
+
 } // namespace dbpsim
 
 #endif // DBPSIM_COMMON_CONFIG_HH

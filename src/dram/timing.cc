@@ -23,6 +23,23 @@ DramTiming::validate() const
         os << name << ": zero-valued core timing parameter";
         return os.str();
     }
+    if (tWR == 0 || tWTR == 0 || tRTP == 0) {
+        os << name << ": zero-valued write/read recovery parameter "
+           << "(tWR/tWTR/tRTP)";
+        return os.str();
+    }
+    if (tCCD < tBURST) {
+        os << name << ": tCCD (" << tCCD << ") < tBURST (" << tBURST
+           << ") — column commands would overlap data bursts";
+        return os.str();
+    }
+    if (tRTRS > tCL) {
+        os << name << ": tRTRS (" << tRTRS << ") > tCL (" << tCL
+           << ") — rank-to-rank switch is a bus turnaround of a few "
+           << "cycles; a larger value is almost certainly a unit "
+           << "mistake";
+        return os.str();
+    }
     if (tREFI <= tRFC) {
         os << name << ": tREFI (" << tREFI << ") <= tRFC (" << tRFC << ")";
         return os.str();

@@ -54,8 +54,10 @@ struct ControllerParams
     unsigned idleWriteThresh = 8;  ///< drain opportunistically when
                                    ///< reads are absent and this many
                                    ///< writes wait.
+    // dbplint:allow(cycle-literal) reason=store-to-load forward latency is a controller design parameter (queue CAM lookup), not a DRAM datasheet value
     Cycle forwardLatency = 2;      ///< write-to-read forward latency.
     PagePolicy pagePolicy = PagePolicy::Open;
+    // dbplint:allow(cycle-literal) reason=adaptive page-policy tuning default, overridden by config key row_idle_timeout (fig18 sweeps it)
     Cycle rowIdleTimeout = 100;    ///< OpenAdaptive idle-close bound.
     RefreshParams refresh;         ///< refresh mode / window / DARP.
 };

@@ -98,6 +98,7 @@ class ThreadProfiler
     std::vector<std::uint32_t> totalOutstanding_;
 
     /** Outstanding per (color, row) key, per thread. */
+    // dbplint:allow(unordered-decl) reason=never iterated; only point find/insert/erase with the busyRows_ counter maintained incrementally, so hash order cannot reach results
     std::vector<std::unordered_map<std::uint64_t, std::uint32_t>>
         rowsOutstanding_;
 

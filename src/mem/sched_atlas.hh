@@ -24,6 +24,7 @@ namespace dbpsim {
 struct AtlasParams
 {
     /** Quantum length in memory-bus cycles. */
+    // dbplint:allow(cycle-literal) reason=ATLAS paper quantum, overridden by config key atlas_quantum
     Cycle quantum = 2'500'000;
 
     /** Exponential smoothing weight on history. */

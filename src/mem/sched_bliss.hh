@@ -31,6 +31,7 @@ struct BlissParams
     unsigned blacklistCap = 4;
 
     /** Blacklist-clearing period in bus cycles. */
+    // dbplint:allow(cycle-literal) reason=BLISS paper clearing interval, overridden by config key bliss_clear
     Cycle clearInterval = 10'000;
 };
 

@@ -22,12 +22,16 @@ struct SchedulerInit
 {
     unsigned numThreads = 8;   ///< hardware threads.
     unsigned numColors = 32;   ///< machine-wide banks (PAR-BS grouping).
+    // dbplint:allow(cycle-literal) reason=placeholder mirroring DramTiming::tBURST; system assembly overwrites it from the timing preset in force
     Cycle burstCycles = 4;     ///< tBURST (ATLAS service unit).
+    // dbplint:allow(cycle-literal) reason=TCM paper constant (800-cycle shuffle), overridden by config key tcm_shuffle
     Cycle tcmShuffleInterval = 800;
     double tcmClusterThresh = 0.10;
+    // dbplint:allow(cycle-literal) reason=ATLAS paper quantum in bus cycles, overridden by config key atlas_quantum
     Cycle atlasQuantum = 2'500'000;
     unsigned parbsMarkingCap = 5;
     unsigned blissCap = 4;
+    // dbplint:allow(cycle-literal) reason=BLISS paper clearing interval, overridden by config key bliss_clear
     Cycle blissClearInterval = 10'000;
 };
 

@@ -40,6 +40,7 @@ struct TcmParams
     double clusterThresh = 0.10;
 
     /** Bandwidth-cluster rank rotation period, in bus cycles. */
+    // dbplint:allow(cycle-literal) reason=TCM paper shuffle period, overridden by config key tcm_shuffle
     Cycle shuffleInterval = 800;
 };
 

@@ -1,5 +1,9 @@
 #include "os/page_table.hh"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/log.hh"
 
 namespace dbpsim {
@@ -41,8 +45,17 @@ void
 PageTable::forEach(
     const std::function<void(std::uint64_t, std::uint64_t)> &fn) const
 {
+    // Visit in ascending vpage order: callers pick migration victims
+    // and build statistics during this walk, so hash order would leak
+    // implementation-defined behaviour into results.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+    entries.reserve(table_.size());
+    // dbplint:allow(unordered-iter) reason=entries are collected then sorted by vpage before any caller-visible emission
     for (const auto &kv : table_)
-        fn(kv.first, kv.second);
+        entries.emplace_back(kv.first, kv.second);
+    std::sort(entries.begin(), entries.end());
+    for (const auto &[vpage, frame] : entries)
+        fn(vpage, frame);
 }
 
 } // namespace dbpsim

@@ -38,11 +38,16 @@ class PageTable
     /** Number of mapped pages. */
     std::size_t size() const { return table_.size(); }
 
-    /** Visit every (vpage, frame) pair. Mutation during visit is UB. */
+    /**
+     * Visit every (vpage, frame) pair in ascending vpage order (the
+     * order is part of the determinism contract: migration victim
+     * selection walks this). Mutation during visit is UB.
+     */
     void forEach(
         const std::function<void(std::uint64_t, std::uint64_t)> &fn) const;
 
   private:
+    // dbplint:allow(unordered-decl) reason=lookups are point queries; the only iteration is forEach which sorts by vpage before visiting
     std::unordered_map<std::uint64_t, std::uint64_t> table_;
 };
 

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <sstream>
 
+#include "common/config.hh"
 #include "common/log.hh"
 
 namespace dbpsim {
@@ -302,7 +302,7 @@ DbpPolicy::onInterval(const std::vector<ThreadMemProfile> &profiles)
     currentLight_ = light;
     ++repartitions_;
     sinceRepartition_ = 0;
-    if (std::getenv("DBPSIM_DEBUG_DBP")) {
+    if (envFlag("DBPSIM_DEBUG_DBP")) {
         std::ostringstream os;
         os << "dbp repartition #" << repartitions_ << ":";
         for (unsigned t = 0; t < numThreads_; ++t)

@@ -36,9 +36,11 @@ struct RunConfig
     SystemParams base;
 
     /** Warm-up CPU cycles (excluded from measurement). */
+    // dbplint:allow(cycle-literal) reason=scaled-down run-window default (see README "Notes on scale"), overridden by config key warmup
     Cycle warmupCpu = 2'000'000;
 
     /** Measured CPU cycles. */
+    // dbplint:allow(cycle-literal) reason=scaled-down run-window default (see README "Notes on scale"), overridden by config key measure
     Cycle measureCpu = 5'000'000;
 
     /** Base seed for trace-generator instantiation. */

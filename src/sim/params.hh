@@ -80,6 +80,7 @@ struct SystemParams
     PartitionManagerParams partMgr;
 
     /** Profiling / repartitioning interval in CPU cycles. */
+    // dbplint:allow(cycle-literal) reason=paper interval scaled to the shortened run window, overridden by config key interval (fig11 sweeps it)
     Cycle profileIntervalCpu = 10'000'000;
 
     /** Private per-core cache in front of the memory system. */

@@ -54,7 +54,7 @@ INSTANTIATE_TEST_SUITE_P(All, TimingPresets,
 TEST(Timing, InvalidRelationsDetected)
 {
     DramTiming t = ddr3_1600();
-    t.tRC = 1; // < tRAS + tRP.
+    t.tRC = 1; // dbplint:allow(cycle-literal) reason=deliberately violates tRC >= tRAS + tRP to prove validate() rejects it
     EXPECT_FALSE(t.validate().empty());
 
     t = ddr3_1600();

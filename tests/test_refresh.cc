@@ -250,6 +250,7 @@ TEST(Refresh, AwareReordersAwayFromDemandBanks)
     // Once its postpone debt is exhausted the busy bank is forced
     // regardless of demand: deadline first_due, forced 7 tREFI later.
     Cycle force_at = first_due + 7 * t.tREFI;
+    // dbplint:allow(cycle-literal) reason=test scenario resume point after the pull-in burst above, not a device timing
     for (Cycle now = 3000; now <= force_at; ++now)
         eng.tick(now);
     EXPECT_EQ(eng.lastRefreshAt(0, 0), force_at);

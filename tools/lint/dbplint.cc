@@ -1,0 +1,157 @@
+/**
+ * @file
+ * dbplint command-line driver.
+ *
+ * Usage:
+ *   dbplint [--root=DIR] [--json] [--list-rules] [paths...]
+ *
+ * With no paths, lints the whole tree: every .cc/.hh/.cpp/.hpp under
+ * src/, tests/, bench/, examples/ of --root (default: the current
+ * directory), against README.md and EXPERIMENTS.md for the
+ * consistency rules. Explicit paths restrict the scanned C++ file
+ * set (the docs are still loaded from --root, and cross-file rules
+ * only fire when their anchor files are in the set).
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage/environment error.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hh"
+
+namespace fs = std::filesystem;
+using namespace dbpsim::lint;
+
+namespace {
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+isCxxSource(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp";
+}
+
+/** @p p relative to @p root with '/' separators. */
+std::string
+relPath(const fs::path &root, const fs::path &p)
+{
+    return fs::relative(p, root).generic_string();
+}
+
+int
+usage(std::ostream &os, int code)
+{
+    os << "usage: dbplint [--root=DIR] [--json] [--list-rules] "
+          "[paths...]\n"
+          "  --root=DIR    repository root (default: .)\n"
+          "  --json        machine-readable findings\n"
+          "  --list-rules  print every rule id and exit\n";
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = ".";
+    bool json = false;
+    std::vector<std::string> explicit_paths;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--root=", 0) == 0) {
+            root = arg.substr(7);
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list-rules") {
+            for (const std::string &id : ruleIds())
+                std::cout << ruleFamily(id) << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(std::cout, 0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "dbplint: unknown option '" << arg << "'\n";
+            return usage(std::cerr, 2);
+        } else {
+            explicit_paths.push_back(arg);
+        }
+    }
+
+    std::error_code ec;
+    root = fs::canonical(root, ec);
+    if (ec) {
+        std::cerr << "dbplint: bad --root: " << ec.message() << "\n";
+        return 2;
+    }
+
+    Corpus corpus;
+    std::vector<fs::path> files;
+    if (explicit_paths.empty()) {
+        for (const char *dir : {"src", "tests", "bench", "examples"}) {
+            fs::path d = root / dir;
+            if (!fs::is_directory(d))
+                continue;
+            for (const auto &e : fs::recursive_directory_iterator(d))
+                if (e.is_regular_file() && isCxxSource(e.path()))
+                    files.push_back(e.path());
+        }
+    } else {
+        for (const std::string &p : explicit_paths) {
+            fs::path fp = fs::path(p).is_absolute() ? fs::path(p)
+                                                    : root / p;
+            if (!fs::is_regular_file(fp)) {
+                std::cerr << "dbplint: no such file: " << p << "\n";
+                return 2;
+            }
+            files.push_back(fp);
+        }
+    }
+    // Directory iteration order is filesystem-dependent; a linter of
+    // determinism should report deterministically.
+    std::sort(files.begin(), files.end());
+
+    for (const fs::path &f : files) {
+        SourceFile sf;
+        sf.path = relPath(root, f);
+        if (!readFile(f, sf.content)) {
+            std::cerr << "dbplint: cannot read " << f << "\n";
+            return 2;
+        }
+        corpus.files.push_back(std::move(sf));
+    }
+    readFile(root / "README.md", corpus.readme);
+    readFile(root / "EXPERIMENTS.md", corpus.experiments);
+
+    std::vector<Finding> findings = lintCorpus(corpus);
+
+    if (json) {
+        std::cout << findingsToJson(findings);
+    } else {
+        for (const Finding &f : findings)
+            std::cout << findingToText(f) << "\n";
+        std::cout << "dbplint: " << corpus.files.size() << " files, "
+                  << findings.size() << " finding"
+                  << (findings.size() == 1 ? "" : "s") << "\n";
+    }
+    return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,8 @@
+// dbplint fixture: determinism/banned-getenv.
+#include <cstdlib>
+
+bool
+fixtureEnvProbe()
+{
+    return std::getenv("DBPSIM_FIXTURE") != nullptr; // EXPECT:banned-getenv
+}

@@ -1,0 +1,11 @@
+// dbplint fixture: every line carrying an expectation marker must
+// fire exactly that rule there (tests/test_dbplint.cc parses the
+// markers). Never compiled; lives outside the linted tree.
+#include <cstdlib>
+
+int
+fixtureRand()
+{
+    std::srand(7); // EXPECT:banned-rand
+    return std::rand(); // EXPECT:banned-rand
+}

@@ -1,0 +1,9 @@
+// dbplint fixture: determinism/banned-random-device.
+#include <random>
+
+unsigned
+fixtureEntropy()
+{
+    std::random_device rd; // EXPECT:banned-random-device
+    return rd();
+}

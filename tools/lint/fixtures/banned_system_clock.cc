@@ -1,0 +1,9 @@
+// dbplint fixture: determinism/banned-system-clock.
+#include <chrono>
+
+long long
+fixtureNow()
+{
+    auto t = std::chrono::system_clock::now(); // EXPECT:banned-system-clock
+    return t.time_since_epoch().count();
+}

@@ -1,0 +1,11 @@
+// dbplint fixture: determinism/banned-time. Only a *call* fires: a
+// variable named time is legal (and common in simulator code).
+#include <ctime>
+
+long
+fixtureWallClock()
+{
+    long now = time(nullptr); // EXPECT:banned-time
+    long time = 0;
+    return now + time;
+}

@@ -1,0 +1,22 @@
+// dbplint fixture: timing/cycle-literal fires on bare integers
+// assigned to DramTiming-style fields and Cycle variables. Zero
+// (beginning of time) and kCamelCase named constants must NOT fire.
+#include <cstdint>
+
+using Cycle = std::uint64_t;
+
+struct FixtureTiming
+{
+    Cycle tRCD = 0;
+};
+
+Cycle
+fixtureWindow()
+{
+    FixtureTiming t;
+    t.tRCD = 11; // EXPECT:cycle-literal
+    Cycle warmup = 2'000'000; // EXPECT:cycle-literal
+    Cycle start = 0;
+    const Cycle kDrainBound = 64;
+    return warmup + start + kDrainBound + t.tRCD;
+}

@@ -1,0 +1,27 @@
+// dbplint fixture: suppression semantics. Both placement forms must
+// silence the finding; a reason is mandatory; unknown rule ids and
+// suppressions that match nothing are themselves findings.
+#include <cstdlib>
+
+int
+fixtureQuietAbove()
+{
+    // dbplint:allow(banned-rand) reason=fixture shows the line-above suppression form
+    return std::rand();
+}
+
+int
+fixtureQuietSameLine()
+{
+    return std::rand(); // dbplint:allow(banned-rand) reason=fixture shows the same-line suppression form
+}
+
+int
+fixtureNoisy()
+{
+    return std::rand(); // EXPECT:banned-rand
+}
+
+// dbplint:allow(banned-rand) EXPECT:empty-reason
+// dbplint:allow(no-such-rule) reason=fixture EXPECT:unknown-rule
+// dbplint:allow(banned-time) reason=fixture with nothing suppressible EXPECT:unused-suppression

@@ -1,0 +1,27 @@
+// dbplint fixture: determinism/unordered-decl fires on the member
+// declaration; determinism/unordered-iter on both iteration forms.
+// The find()/end() miss check below must NOT fire: it leaks no order.
+#include <cstdint>
+#include <unordered_map>
+
+struct FixtureTable
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> table_; // EXPECT:unordered-decl
+
+    std::uint64_t
+    sum() const
+    {
+        std::uint64_t s = 0;
+        for (const auto &kv : table_) // EXPECT:unordered-iter
+            s += kv.second;
+        auto it = table_.begin(); // EXPECT:unordered-iter
+        (void)it;
+        return s;
+    }
+
+    bool
+    has(std::uint64_t key) const
+    {
+        return table_.find(key) != table_.end();
+    }
+};

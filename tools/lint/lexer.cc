@@ -1,0 +1,262 @@
+#include "lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dbpsim::lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/** Two-character operators the rules care about lexing as one token. */
+bool
+isTwoCharOp(char a, char b)
+{
+    switch (a) {
+      case ':': return b == ':';
+      case '-': return b == '>' || b == '=' || b == '-';
+      case '=': return b == '=';
+      case '!': return b == '=';
+      case '<': return b == '=' || b == '<';
+      case '>': return b == '=' || b == '>';
+      case '+': return b == '=' || b == '+';
+      case '*': return b == '=';
+      case '/': return b == '=';
+      case '%': return b == '=';
+      case '&': return b == '=' || b == '&';
+      case '|': return b == '=' || b == '|';
+      case '^': return b == '=';
+      default: return false;
+    }
+}
+
+} // namespace
+
+TokenStream
+scan(const std::string &content)
+{
+    TokenStream out;
+    const std::size_t n = content.size();
+    std::size_t i = 0;
+    unsigned line = 1;
+    bool at_line_start = true;
+
+    auto peek = [&](std::size_t off) -> char {
+        return i + off < n ? content[i + off] : '\0';
+    };
+
+    while (i < n) {
+        char c = content[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            at_line_start = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            ++i;
+            continue;
+        }
+
+        // Preprocessor directive: skip to end of line, honoring
+        // backslash continuations. Keeps `#include <unordered_map>`
+        // from minting identifier tokens.
+        if (c == '#' && at_line_start) {
+            while (i < n) {
+                if (content[i] == '\\' && peek(1) == '\n') {
+                    i += 2;
+                    ++line;
+                    continue;
+                }
+                if (content[i] == '\n')
+                    break;
+                ++i;
+            }
+            continue;
+        }
+        at_line_start = false;
+
+        // Line comment.
+        if (c == '/' && peek(1) == '/') {
+            std::size_t start = i + 2;
+            std::size_t end = start;
+            while (end < n && content[end] != '\n')
+                ++end;
+            out.comments.push_back(
+                {content.substr(start, end - start), line});
+            i = end;
+            continue;
+        }
+
+        // Block comment.
+        if (c == '/' && peek(1) == '*') {
+            unsigned start_line = line;
+            std::size_t start = i + 2;
+            std::size_t end = start;
+            while (end + 1 < n &&
+                   !(content[end] == '*' && content[end + 1] == '/')) {
+                if (content[end] == '\n')
+                    ++line;
+                ++end;
+            }
+            out.comments.push_back(
+                {content.substr(start, end - start), start_line});
+            i = end + 1 < n ? end + 2 : n;
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim" with optional
+        // encoding prefix already consumed as part of an identifier,
+        // so handle the bare R-form here and the prefixed forms via
+        // the identifier path below.
+        if (c == 'R' && peek(1) == '"') {
+            std::size_t d = i + 2;
+            std::string delim;
+            while (d < n && content[d] != '(')
+                delim += content[d++];
+            std::string close = ")" + delim + "\"";
+            std::size_t body = d + 1;
+            std::size_t end = content.find(close, body);
+            if (end == std::string::npos)
+                end = n;
+            std::string text = content.substr(body, end - body);
+            out.tokens.push_back({TokKind::Str, text, line, false, 0});
+            for (std::size_t k = i; k < end && k < n; ++k)
+                if (content[k] == '\n')
+                    ++line;
+            i = end == n ? n : end + close.size();
+            continue;
+        }
+
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            std::size_t end = i + 1;
+            std::string text;
+            while (end < n && content[end] != quote) {
+                if (content[end] == '\\' && end + 1 < n) {
+                    text += content[end];
+                    text += content[end + 1];
+                    end += 2;
+                    continue;
+                }
+                if (content[end] == '\n')
+                    break; // unterminated; bail at EOL.
+                text += content[end];
+                ++end;
+            }
+            if (quote == '"')
+                out.tokens.push_back(
+                    {TokKind::Str, text, line, false, 0});
+            i = end < n ? end + 1 : n;
+            continue;
+        }
+
+        // Identifier / keyword (and prefixed raw strings: u8R"...").
+        if (isIdentStart(c)) {
+            std::size_t end = i;
+            while (end < n && isIdentChar(content[end]))
+                ++end;
+            std::string text = content.substr(i, end - i);
+            // Encoding-prefixed string literal: skip the prefix and
+            // let the next iteration lex the literal.
+            if (end < n && content[end] == '"' &&
+                (text == "u8" || text == "u" || text == "U" ||
+                 text == "L" || text == "u8R" || text == "uR" ||
+                 text == "UR" || text == "LR")) {
+                if (text.back() == 'R') {
+                    i = end - 1; // land on the R of R"...
+                    continue;
+                }
+                i = end;
+                continue;
+            }
+            out.tokens.push_back(
+                {TokKind::Ident, std::move(text), line, false, 0});
+            i = end;
+            continue;
+        }
+
+        // Numeric literal.
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+            std::size_t end = i;
+            bool is_float = c == '.';
+            while (end < n) {
+                char d = content[end];
+                if (std::isalnum(static_cast<unsigned char>(d)) != 0 ||
+                    d == '\'' || d == '.') {
+                    if (d == '.' || d == 'e' || d == 'E' ||
+                        d == 'p' || d == 'P')
+                        is_float = true;
+                    // 0x1E is not a float exponent.
+                    if ((d == 'e' || d == 'E') && end > i &&
+                        (content[i + 1] == 'x' || content[i + 1] == 'X'))
+                        is_float = false;
+                    ++end;
+                    continue;
+                }
+                if ((d == '+' || d == '-') && end > i &&
+                    (content[end - 1] == 'e' || content[end - 1] == 'E' ||
+                     content[end - 1] == 'p' || content[end - 1] == 'P')) {
+                    ++end;
+                    continue;
+                }
+                break;
+            }
+            std::string text = content.substr(i, end - i);
+            Token tok{TokKind::Number, text, line, false, 0};
+            if (!is_float) {
+                std::string digits;
+                for (char d : text)
+                    if (d != '\'')
+                        digits += d;
+                // Strip integer suffixes (u, l, ll, z, ...).
+                while (!digits.empty() &&
+                       std::isxdigit(static_cast<unsigned char>(
+                           digits.back())) == 0 &&
+                       digits.back() != 'x' && digits.back() != 'X')
+                    digits.pop_back();
+                if (!(digits.size() >= 2 &&
+                      (digits[1] == 'x' || digits[1] == 'X'))) {
+                    // Decimal/octal suffix letters (l, u) are not hex
+                    // digits, but 'b'/'f' could survive; strtoull
+                    // stops at them harmlessly.
+                }
+                tok.isInt = true;
+                tok.intValue = std::strtoull(digits.c_str(), nullptr, 0);
+            }
+            out.tokens.push_back(std::move(tok));
+            i = end;
+            continue;
+        }
+
+        // Punctuation.
+        if (i + 1 < n && isTwoCharOp(c, content[i + 1])) {
+            out.tokens.push_back(
+                {TokKind::Punct, content.substr(i, 2), line, false, 0});
+            i += 2;
+            continue;
+        }
+        out.tokens.push_back(
+            {TokKind::Punct, std::string(1, c), line, false, 0});
+        ++i;
+    }
+
+    return out;
+}
+
+} // namespace dbpsim::lint

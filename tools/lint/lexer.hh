@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal C++ token scanner for dbplint.
+ *
+ * This is deliberately not a parser: dbplint's rules only need a
+ * stream of identifiers, literals, and punctuation with accurate line
+ * numbers, plus the comment text (suppressions live in comments).
+ * The scanner understands line/block comments, string/char literals
+ * (including raw strings and encoding prefixes), preprocessor
+ * directives (skipped wholesale, so `#include <unordered_map>` never
+ * produces an `unordered_map` identifier token), digit separators,
+ * and the two-character operators whose mis-lexing would matter to a
+ * rule (`::`, `->`, `==`, compound assignments, shifts).
+ *
+ * No LLVM/libclang dependency: the linter must build everywhere the
+ * simulator builds, with nothing but the C++ toolchain.
+ */
+
+#ifndef DBPSIM_TOOLS_LINT_LEXER_HH
+#define DBPSIM_TOOLS_LINT_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbpsim::lint {
+
+/** Token categories dbplint's rules distinguish. */
+enum class TokKind
+{
+    Ident,  ///< identifier or keyword.
+    Number, ///< numeric literal (integer or floating).
+    Str,    ///< string literal (text holds the *contents*, unquoted).
+    Punct,  ///< operator / punctuation (one or two characters).
+};
+
+/** One token with its source position. */
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    unsigned line = 0;
+
+    /** Numbers only: true when the literal is a pure integer. */
+    bool isInt = false;
+
+    /** Numbers only (isInt): the parsed value. */
+    std::uint64_t intValue = 0;
+};
+
+/** One comment, as a suppression carrier. */
+struct Comment
+{
+    std::string text; ///< contents without the // or slash-star.
+    unsigned line = 0;///< line the comment starts on.
+};
+
+/** The scan result for one file. */
+struct TokenStream
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/**
+ * Scan @p content (the full text of a C++ source file). Never fails:
+ * malformed input degrades to best-effort tokens, which at worst
+ * costs a rule a finding — the compiler, not the linter, owns syntax
+ * errors.
+ */
+TokenStream scan(const std::string &content);
+
+} // namespace dbpsim::lint
+
+#endif // DBPSIM_TOOLS_LINT_LEXER_HH
