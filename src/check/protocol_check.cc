@@ -1,5 +1,6 @@
 #include "check/protocol_check.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/log.hh"
@@ -35,6 +36,10 @@ violationName(Violation v)
       case Violation::RefreshPbOpenBank: return "refresh_pb_open_bank";
       case Violation::RefreshPbLate: return "refresh_pb_late";
       case Violation::RefreshPbForeign: return "refresh_pb_foreign";
+      case Violation::TimingTSA: return "tsa";
+      case Violation::SubarrayActIllegal: return "subarray_act_illegal";
+      case Violation::SubarrayColIllegal: return "subarray_col_illegal";
+      case Violation::PartitionSubarray: return "partition_subarray";
     }
     DBP_PANIC("unreachable Violation");
 }
@@ -55,8 +60,12 @@ ProtocolChecker::ProtocolChecker(const DramGeometry &geom,
     for (unsigned ch = 0; ch < geom.channels; ++ch) {
         banks_[ch].resize(geom.ranksPerChannel);
         ranks_[ch].resize(geom.ranksPerChannel);
-        for (auto &rank_banks : banks_[ch])
+        for (auto &rank_banks : banks_[ch]) {
             rank_banks.resize(geom.banksPerRank);
+            if (params_.salp != SalpMode::None)
+                for (auto &b : rank_banks)
+                    b.subs.resize(geom.subarraysPerBank);
+        }
     }
     allowedNow_.resize(num_threads);
     everAllowed_.resize(num_threads);
@@ -119,15 +128,44 @@ ProtocolChecker::checkActivate(const CmdEvent &ev)
     ShadowRank &r = rankOf(ev);
     const Cycle c = ev.cycle;
 
-    if (b.open)
-        flag(Violation::ActToOpenBank, ev,
-             "bank already has an open row");
-    if (c < b.actReadyTRP)
-        flag(Violation::TimingTRP, ev,
-             tooEarly("tRP after precharge", b.actReadyTRP, c));
-    if (c < b.actReadyTRC)
-        flag(Violation::TimingTRC, ev,
-             tooEarly("tRC after previous ACT", b.actReadyTRC, c));
+    if (params_.salp != SalpMode::None) {
+        unsigned si = subarrayOf(ev.row);
+        ShadowSubarray &s = b.subs.at(si);
+        if (s.open)
+            flag(Violation::SubarrayActIllegal, ev,
+                 "subarray already has an open row");
+        if (params_.salp != SalpMode::Masa) {
+            // SALP-1/2: one open row per bank; another subarray's
+            // in-flight precharge may overlap, an open row may not.
+            for (unsigned k = 0; k < b.subs.size(); ++k) {
+                if (k != si && b.subs[k].open) {
+                    flag(Violation::SubarrayActIllegal, ev,
+                         "another subarray holds an open row (mode " +
+                             std::string(salpModeName(params_.salp)) +
+                             ")");
+                    break;
+                }
+            }
+        }
+        if (c < s.actReadyTRP)
+            flag(Violation::TimingTRP, ev,
+                 tooEarly("tRP after subarray precharge",
+                          s.actReadyTRP, c));
+        if (c < s.actReadyTRC)
+            flag(Violation::TimingTRC, ev,
+                 tooEarly("tRC after previous subarray ACT",
+                          s.actReadyTRC, c));
+    } else {
+        if (b.open)
+            flag(Violation::ActToOpenBank, ev,
+                 "bank already has an open row");
+        if (c < b.actReadyTRP)
+            flag(Violation::TimingTRP, ev,
+                 tooEarly("tRP after precharge", b.actReadyTRP, c));
+        if (c < b.actReadyTRC)
+            flag(Violation::TimingTRC, ev,
+                 tooEarly("tRC after previous ACT", b.actReadyTRC, c));
+    }
     if (c < r.actReadyTRRD)
         flag(Violation::TimingTRRD, ev,
              tooEarly("tRRD after rank ACT", r.actReadyTRRD, c));
@@ -139,11 +177,24 @@ ProtocolChecker::checkActivate(const CmdEvent &ev)
                           oldest + timing_.tFAW, c));
     }
 
-    b.open = true;
-    b.row = ev.row;
-    b.actReadyTRC = c + timing_.tRC;
-    b.colReadyTRCD = c + timing_.tRCD;
-    b.preReadyTRAS = c + timing_.tRAS;
+    if (params_.salp != SalpMode::None) {
+        unsigned si = subarrayOf(ev.row);
+        ShadowSubarray &s = b.subs[si];
+        s.open = true;
+        s.row = ev.row;
+        s.actReadyTRC = c + timing_.tRC;
+        s.colReadyTRCD = c + timing_.tRCD;
+        s.preReadyTRAS = c + timing_.tRAS;
+        // The freshest ACT drives the global bitlines immediately.
+        b.designated = si;
+        b.designateReadyAt = c;
+    } else {
+        b.open = true;
+        b.row = ev.row;
+        b.actReadyTRC = c + timing_.tRC;
+        b.colReadyTRCD = c + timing_.tRCD;
+        b.preReadyTRAS = c + timing_.tRAS;
+    }
     r.actReadyTRRD = c + timing_.tRRD;
     r.actTimes[r.actPtr] = c;
     r.actPtr = (r.actPtr + 1) % 4;
@@ -156,6 +207,32 @@ ProtocolChecker::checkPrecharge(const CmdEvent &ev)
 {
     ShadowBank &b = bankOf(ev);
     const Cycle c = ev.cycle;
+
+    if (params_.salp != SalpMode::None) {
+        ShadowSubarray &s = b.subs.at(subarrayOf(ev.row));
+        if (!s.open)
+            flag(Violation::PreToClosedBank, ev,
+                 "precharge to a closed subarray");
+        if (c < s.preReadyTRAS)
+            flag(Violation::TimingTRAS, ev,
+                 tooEarly("tRAS after subarray ACT",
+                          s.preReadyTRAS, c));
+        if (c < s.preReadyTWR)
+            flag(Violation::TimingTWR, ev,
+                 tooEarly("tWR after write data", s.preReadyTWR, c));
+        if (c < s.preReadyTRTP)
+            flag(Violation::TimingTRTP, ev,
+                 tooEarly("tRTP after read", s.preReadyTRTP, c));
+
+        s.open = false;
+        // SALP-2/MASA: the PRE may issue inside the write recovery;
+        // its internal completion (and the subarray's next ACT) waits.
+        Cycle done = c;
+        if (params_.salp != SalpMode::Salp1)
+            done = std::max(done, s.wrRecoveryAt);
+        s.actReadyTRP = done + timing_.tRP;
+        return;
+    }
 
     if (!b.open)
         flag(Violation::PreToClosedBank, ev,
@@ -207,13 +284,35 @@ ProtocolChecker::checkPartitionAccess(const CmdEvent &ev)
     const auto &ever = everAllowed_[static_cast<std::size_t>(ev.tid)];
     if (ever.empty())
         return; // no assignment recorded yet: unpartitioned.
-    unsigned color =
+    unsigned bank_color =
         (ev.channel * geom_.ranksPerChannel + ev.rank) *
             geom_.banksPerRank + ev.bank;
+    unsigned color = bank_color;
+    if (params_.subarrayColoring)
+        color = bank_color * geom_.subarraysPerBank + subarrayOf(ev.row);
     if (color >= ever.size() || !ever[color]) {
+        if (params_.subarrayColoring) {
+            // Distinguish a foreign bank from a foreign subarray of a
+            // partially-owned bank (the new, finer breach class).
+            bool owns_bank = false;
+            for (unsigned k = 0; k < geom_.subarraysPerBank; ++k) {
+                unsigned kc = bank_color * geom_.subarraysPerBank + k;
+                if (kc < ever.size() && ever[kc]) {
+                    owns_bank = true;
+                    break;
+                }
+            }
+            if (owns_bank) {
+                std::ostringstream os;
+                os << "thread " << ev.tid << " accessed subarray color "
+                   << color << " which was never in its partition";
+                flag(Violation::PartitionSubarray, ev, os.str());
+                return;
+            }
+        }
         std::ostringstream os;
-        os << "thread " << ev.tid << " accessed bank color " << color
-           << " which was never in its partition";
+        os << "thread " << ev.tid << " accessed bank color "
+           << bank_color << " which was never in its partition";
         flag(Violation::PartitionAccess, ev, os.str());
         return;
     }
@@ -230,17 +329,45 @@ ProtocolChecker::checkColumn(const CmdEvent &ev, bool is_write)
     ShadowChannel &ch = channels_.at(ev.channel);
     const Cycle c = ev.cycle;
 
-    if (!b.open)
-        flag(Violation::ColToClosedBank, ev,
-             "column command to a closed bank");
-    else if (b.row != ev.row) {
-        std::ostringstream os;
-        os << "open row is " << b.row;
-        flag(Violation::ColWrongRow, ev, os.str());
+    if (params_.salp != SalpMode::None) {
+        unsigned si = subarrayOf(ev.row);
+        ShadowSubarray &s = b.subs.at(si);
+        if (!s.open)
+            flag(Violation::ColToClosedBank, ev,
+                 "column command to a closed subarray");
+        else if (s.row != ev.row) {
+            std::ostringstream os;
+            os << "subarray's open row is " << s.row;
+            flag(Violation::ColWrongRow, ev, os.str());
+        }
+        if (params_.salp == SalpMode::Masa) {
+            if (b.designated != si)
+                flag(Violation::SubarrayColIllegal, ev,
+                     "column command to a non-designated subarray "
+                     "(designated is " +
+                         std::to_string(b.designated) + ")");
+            else if (c < b.designateReadyAt)
+                flag(Violation::TimingTSA, ev,
+                     tooEarly("tSA after SA_SEL relink",
+                              b.designateReadyAt, c));
+        }
+        if (c < s.colReadyTRCD)
+            flag(Violation::TimingTRCD, ev,
+                 tooEarly("tRCD after subarray ACT",
+                          s.colReadyTRCD, c));
+    } else {
+        if (!b.open)
+            flag(Violation::ColToClosedBank, ev,
+                 "column command to a closed bank");
+        else if (b.row != ev.row) {
+            std::ostringstream os;
+            os << "open row is " << b.row;
+            flag(Violation::ColWrongRow, ev, os.str());
+        }
+        if (c < b.colReadyTRCD)
+            flag(Violation::TimingTRCD, ev,
+                 tooEarly("tRCD after ACT", b.colReadyTRCD, c));
     }
-    if (c < b.colReadyTRCD)
-        flag(Violation::TimingTRCD, ev,
-             tooEarly("tRCD after ACT", b.colReadyTRCD, c));
     if (c < ch.colReadyTCCD)
         flag(Violation::TimingTCCD, ev,
              tooEarly("tCCD after column command", ch.colReadyTCCD, c));
@@ -252,6 +379,29 @@ ProtocolChecker::checkColumn(const CmdEvent &ev, bool is_write)
     checkPartitionAccess(ev);
 
     ch.colReadyTCCD = c + timing_.tCCD;
+    if (params_.salp != SalpMode::None) {
+        ShadowSubarray &s = b.subs[subarrayOf(ev.row)];
+        if (is_write) {
+            Cycle data_end = c + timing_.tCWL + timing_.tBURST;
+            if (params_.salp == SalpMode::Salp1)
+                s.preReadyTWR = data_end + timing_.tWR;
+            else
+                s.wrRecoveryAt =
+                    std::max(s.wrRecoveryAt, data_end + timing_.tWR);
+            r.rdReadyTWTR = data_end + timing_.tWTR;
+            if (ev.cmd == DramCmd::WriteAp) {
+                s.open = false;
+                s.actReadyTRP = data_end + timing_.tWR + timing_.tRP;
+            }
+        } else {
+            s.preReadyTRTP = c + timing_.tRTP;
+            if (ev.cmd == DramCmd::ReadAp) {
+                s.open = false;
+                s.actReadyTRP = c + timing_.tRTP + timing_.tRP;
+            }
+        }
+        return;
+    }
     if (is_write) {
         Cycle data_end = c + timing_.tCWL + timing_.tBURST;
         b.preReadyTWR = data_end + timing_.tWR;
@@ -270,6 +420,36 @@ ProtocolChecker::checkColumn(const CmdEvent &ev, bool is_write)
 }
 
 void
+ProtocolChecker::checkSaSel(const CmdEvent &ev)
+{
+    ShadowBank &b = bankOf(ev);
+    const Cycle c = ev.cycle;
+
+    if (params_.salp != SalpMode::Masa) {
+        flag(Violation::SubarrayActIllegal, ev,
+             "SA_SEL outside masa mode");
+        return;
+    }
+    unsigned si = subarrayOf(ev.row);
+    ShadowSubarray &s = b.subs.at(si);
+    if (!s.open)
+        flag(Violation::SubarrayColIllegal, ev,
+             "SA_SEL to a closed subarray");
+    else if (s.row != ev.row) {
+        std::ostringstream os;
+        os << "SA_SEL row mismatch: subarray's open row is " << s.row;
+        flag(Violation::SubarrayColIllegal, ev, os.str());
+    }
+    if (c < b.designateReadyAt)
+        flag(Violation::TimingTSA, ev,
+             tooEarly("tSA after previous SA_SEL relink",
+                      b.designateReadyAt, c));
+
+    b.designated = si;
+    b.designateReadyAt = c + timing_.tSA;
+}
+
+void
 ProtocolChecker::checkRefresh(const CmdEvent &ev)
 {
     ShadowRank &r = rankOf(ev);
@@ -280,15 +460,41 @@ ProtocolChecker::checkRefresh(const CmdEvent &ev)
         ShadowBank &b = rank_banks[bi];
         CmdEvent bev = ev;
         bev.bank = bi;
-        if (b.open)
-            flag(Violation::RefreshOpenBank, bev,
-                 "refresh while the bank has an open row");
-        if (c < b.actReadyTRP)
-            flag(Violation::TimingTRP, bev,
-                 tooEarly("tRP before refresh", b.actReadyTRP, c));
-        if (c < b.actReadyTRC)
-            flag(Violation::TimingTRC, bev,
-                 tooEarly("tRC before refresh", b.actReadyTRC, c));
+        if (params_.salp != SalpMode::None) {
+            for (const ShadowSubarray &s : b.subs) {
+                if (s.open) {
+                    flag(Violation::RefreshOpenBank, bev,
+                         "refresh while a subarray has an open row");
+                    break;
+                }
+            }
+            for (const ShadowSubarray &s : b.subs) {
+                if (c < s.actReadyTRP) {
+                    flag(Violation::TimingTRP, bev,
+                         tooEarly("tRP before refresh",
+                                  s.actReadyTRP, c));
+                    break;
+                }
+            }
+            for (const ShadowSubarray &s : b.subs) {
+                if (c < s.actReadyTRC) {
+                    flag(Violation::TimingTRC, bev,
+                         tooEarly("tRC before refresh",
+                                  s.actReadyTRC, c));
+                    break;
+                }
+            }
+        } else {
+            if (b.open)
+                flag(Violation::RefreshOpenBank, bev,
+                     "refresh while the bank has an open row");
+            if (c < b.actReadyTRP)
+                flag(Violation::TimingTRP, bev,
+                     tooEarly("tRP before refresh", b.actReadyTRP, c));
+            if (c < b.actReadyTRC)
+                flag(Violation::TimingTRC, bev,
+                     tooEarly("tRC before refresh", b.actReadyTRC, c));
+        }
         if (c < b.pbRefreshEndAt)
             flag(Violation::TimingTRFCpb, bev,
                  tooEarly("tRFCpb before all-bank refresh",
@@ -316,15 +522,44 @@ ProtocolChecker::checkRefreshBank(const CmdEvent &ev)
     ShadowBank &b = bankOf(ev);
     const Cycle c = ev.cycle;
 
-    if (b.open)
-        flag(Violation::RefreshPbOpenBank, ev,
-             "per-bank refresh while the bank has an open row");
-    if (c < b.actReadyTRP)
-        flag(Violation::TimingTRP, ev,
-             tooEarly("tRP before per-bank refresh", b.actReadyTRP, c));
-    if (c < b.actReadyTRC)
-        flag(Violation::TimingTRC, ev,
-             tooEarly("tRC before per-bank refresh", b.actReadyTRC, c));
+    if (params_.salp != SalpMode::None) {
+        for (const ShadowSubarray &s : b.subs) {
+            if (s.open) {
+                flag(Violation::RefreshPbOpenBank, ev,
+                     "per-bank refresh while a subarray has an open "
+                     "row");
+                break;
+            }
+        }
+        for (const ShadowSubarray &s : b.subs) {
+            if (c < s.actReadyTRP) {
+                flag(Violation::TimingTRP, ev,
+                     tooEarly("tRP before per-bank refresh",
+                              s.actReadyTRP, c));
+                break;
+            }
+        }
+        for (const ShadowSubarray &s : b.subs) {
+            if (c < s.actReadyTRC) {
+                flag(Violation::TimingTRC, ev,
+                     tooEarly("tRC before per-bank refresh",
+                              s.actReadyTRC, c));
+                break;
+            }
+        }
+    } else {
+        if (b.open)
+            flag(Violation::RefreshPbOpenBank, ev,
+                 "per-bank refresh while the bank has an open row");
+        if (c < b.actReadyTRP)
+            flag(Violation::TimingTRP, ev,
+                 tooEarly("tRP before per-bank refresh",
+                          b.actReadyTRP, c));
+        if (c < b.actReadyTRC)
+            flag(Violation::TimingTRC, ev,
+                 tooEarly("tRC before per-bank refresh",
+                          b.actReadyTRC, c));
+    }
 
     // Each bank must see a refresh (REFpb or all-bank) once per tREFI,
     // within the same postpone window as the all-bank cadence.
@@ -345,13 +580,29 @@ ProtocolChecker::checkRefreshBank(const CmdEvent &ev)
         const auto &ever =
             everAllowed_[static_cast<std::size_t>(ev.tid)];
         if (!ever.empty()) {
-            unsigned color =
+            unsigned bank_color =
                 (ev.channel * geom_.ranksPerChannel + ev.rank) *
                     geom_.banksPerRank + ev.bank;
-            if (color >= ever.size() || !ever[color]) {
+            bool owns = false;
+            if (params_.subarrayColoring) {
+                // REFpb touches the whole bank; owning any subarray of
+                // it is enough (the refresh disturbs only banks the
+                // thread already shares).
+                for (unsigned k = 0; k < geom_.subarraysPerBank; ++k) {
+                    unsigned kc =
+                        bank_color * geom_.subarraysPerBank + k;
+                    if (kc < ever.size() && ever[kc]) {
+                        owns = true;
+                        break;
+                    }
+                }
+            } else {
+                owns = bank_color < ever.size() && ever[bank_color];
+            }
+            if (!owns) {
                 std::ostringstream os;
                 os << "per-bank refresh for thread " << ev.tid
-                   << " touches bank color " << color
+                   << " touches bank color " << bank_color
                    << " outside its partition";
                 flag(Violation::RefreshPbForeign, ev, os.str());
             }
@@ -411,6 +662,9 @@ ProtocolChecker::onCommand(const CmdEvent &ev)
       case DramCmd::RefreshBank:
         checkRefreshBank(ev);
         break;
+      case DramCmd::SaSel:
+        checkSaSel(ev);
+        break;
     }
 }
 
@@ -421,7 +675,7 @@ ProtocolChecker::onColorSet(ThreadId tid,
     if (tid < 0 || static_cast<std::size_t>(tid) >= allowedNow_.size())
         return;
     auto t = static_cast<std::size_t>(tid);
-    std::size_t total = geom_.totalBanks();
+    std::size_t total = partitionColors();
     allowedNow_[t].assign(total, 0);
     if (everAllowed_[t].empty())
         everAllowed_[t].assign(total, 0);

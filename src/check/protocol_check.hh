@@ -51,6 +51,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/addr_map.hh"
+#include "dram/subarray.hh"
 #include "dram/timing.hh"
 
 namespace dbpsim {
@@ -84,11 +85,15 @@ enum class Violation
     RefreshPbOpenBank,///< REFpb while the target bank has an open row.
     RefreshPbLate,    ///< a bank's REFpb cadence beyond the postpone bound.
     RefreshPbForeign, ///< REFpb charged to a thread that never owned the bank.
+    TimingTSA,        ///< column/SA_SEL before the designated relink done.
+    SubarrayActIllegal,///< ACT breaking the mode's subarray invariant.
+    SubarrayColIllegal,///< column/SA_SEL to a wrong/undesignated subarray.
+    PartitionSubarray,///< access outside the thread's subarray colors.
 };
 
 /** Number of violation classes. */
 constexpr std::size_t kNumViolations =
-    static_cast<std::size_t>(Violation::RefreshPbForeign) + 1;
+    static_cast<std::size_t>(Violation::PartitionSubarray) + 1;
 
 /** Short stable name of a violation class (stat keys, messages). */
 const char *violationName(Violation v);
@@ -117,6 +122,21 @@ struct ProtocolCheckerParams
      * that does appear.
      */
     bool expectRefresh = true;
+
+    /**
+     * Subarray-level parallelism mode the run uses. With None the
+     * checker applies the monolithic per-bank rules (seed behaviour);
+     * otherwise structural and timing rules are re-derived per
+     * subarray, including the MASA designated-latch (tSA) rules.
+     */
+    SalpMode salp = SalpMode::None;
+
+    /**
+     * Whether partition colors carry the subarray index (the address
+     * map's color_subarrays flag). Containment is then checked at
+     * {channel, rank, bank, subarray} granularity.
+     */
+    bool subarrayColoring = false;
 };
 
 /**
@@ -187,6 +207,20 @@ class ProtocolChecker : public CommandObserver, public PartitionObserver
     /// @}
 
   private:
+    /** Shadow per-subarray state (SALP modes only). */
+    struct ShadowSubarray
+    {
+        bool open = false;
+        std::uint64_t row = 0;
+        Cycle actReadyTRP = 0;  ///< precharge completion + tRP.
+        Cycle actReadyTRC = 0;  ///< last ACT + tRC.
+        Cycle colReadyTRCD = 0; ///< last ACT + tRCD.
+        Cycle preReadyTRAS = 0; ///< last ACT + tRAS.
+        Cycle preReadyTWR = 0;  ///< write data end + tWR (SALP-1 only).
+        Cycle preReadyTRTP = 0; ///< last RD + tRTP.
+        Cycle wrRecoveryAt = 0; ///< deferred completion (SALP-2/MASA).
+    };
+
     /** Shadow per-bank state, rebuilt purely from observed commands. */
     struct ShadowBank
     {
@@ -200,6 +234,10 @@ class ProtocolChecker : public CommandObserver, public PartitionObserver
         Cycle preReadyTRTP = 0; ///< last RD + tRTP.
         Cycle pbRefreshEndAt = 0;  ///< in-flight REFpb completes here.
         Cycle lastPbRefreshAt = 0; ///< cycle of the last REFpb.
+        /** Subarray shadows; sized only when params.salp != None. */
+        std::vector<ShadowSubarray> subs;
+        unsigned designated = 0;    ///< MASA designated subarray.
+        Cycle designateReadyAt = 0; ///< SA_SEL relink completes here.
     };
 
     /** Shadow per-rank state. */
@@ -236,10 +274,24 @@ class ProtocolChecker : public CommandObserver, public PartitionObserver
     void checkActivate(const CmdEvent &ev);
     void checkPrecharge(const CmdEvent &ev);
     void checkColumn(const CmdEvent &ev, bool is_write);
+    void checkSaSel(const CmdEvent &ev);
     void checkRefresh(const CmdEvent &ev);
     void checkRefreshBank(const CmdEvent &ev);
     void checkDataBus(const CmdEvent &ev, bool is_write);
     void checkPartitionAccess(const CmdEvent &ev);
+
+    /** Subarray index of a row (low row bits). */
+    unsigned subarrayOf(std::uint64_t row) const
+    {
+        return static_cast<unsigned>(row & (geom_.subarraysPerBank - 1));
+    }
+
+    /** Partition colors tracked (banks, x subarrays when colored). */
+    unsigned partitionColors() const
+    {
+        return geom_.totalBanks() *
+            (params_.subarrayColoring ? geom_.subarraysPerBank : 1u);
+    }
 
     DramGeometry geom_;
     DramTiming timing_;

@@ -12,9 +12,14 @@ DramGeometry::validate() const
     auto pot = [](std::uint64_t v) { return isPowerOfTwo(v); };
     std::ostringstream os;
     if (!pot(channels) || !pot(ranksPerChannel) || !pot(banksPerRank) ||
-        !pot(rowsPerBank) || !pot(rowBytes) || !pot(lineBytes) ||
-        !pot(pageBytes)) {
+        !pot(subarraysPerBank) || !pot(rowsPerBank) || !pot(rowBytes) ||
+        !pot(lineBytes) || !pot(pageBytes)) {
         os << "all geometry fields must be powers of two";
+        return os.str();
+    }
+    if (subarraysPerBank == 0 || subarraysPerBank > rowsPerBank) {
+        os << "subarraysPerBank (" << subarraysPerBank
+           << ") must be in [1, rowsPerBank]";
         return os.str();
     }
     if (lineBytes > pageBytes) {
@@ -59,8 +64,9 @@ mapSchemeName(MapScheme scheme)
 }
 
 AddressMap::AddressMap(const DramGeometry &geom, MapScheme scheme,
-                       bool bank_xor)
-    : geom_(geom), scheme_(scheme), bankXor_(bank_xor)
+                       bool bank_xor, bool color_subarrays)
+    : geom_(geom), scheme_(scheme), bankXor_(bank_xor),
+      colorSubarrays_(color_subarrays)
 {
     std::string err = geom.validate();
     if (!err.empty())
@@ -74,6 +80,7 @@ AddressMap::AddressMap(const DramGeometry &geom, MapScheme scheme,
     lineBits_ = floorLog2(geom.lineBytes);
     pageLineBits_ = floorLog2(geom.pageBytes / geom.lineBytes);
     slotBits_ = floorLog2(geom.rowBytes / geom.pageBytes);
+    subBits_ = floorLog2(geom.subarraysPerBank);
 }
 
 namespace {
@@ -195,8 +202,12 @@ AddressMap::encode(const DramCoord &coord) const
 unsigned
 AddressMap::colorOf(const DramCoord &coord) const
 {
-    return ((coord.channel * geom_.ranksPerChannel) + coord.rank)
+    unsigned bank_color =
+        ((coord.channel * geom_.ranksPerChannel) + coord.rank)
         * geom_.banksPerRank + coord.bank;
+    if (!colorSubarrays_)
+        return bank_color;
+    return bank_color * geom_.subarraysPerBank + subarrayOf(coord.row);
 }
 
 AddressMap::ColorLocation
@@ -204,6 +215,11 @@ AddressMap::colorLocation(unsigned color) const
 {
     DBP_ASSERT(color < numColors(), "color out of range");
     ColorLocation loc;
+    loc.subarray = 0;
+    if (colorSubarrays_) {
+        loc.subarray = color % geom_.subarraysPerBank;
+        color /= geom_.subarraysPerBank;
+    }
     loc.bank = color % geom_.banksPerRank;
     loc.rank = (color / geom_.banksPerRank) % geom_.ranksPerChannel;
     loc.channel = color / (geom_.banksPerRank * geom_.ranksPerChannel);
@@ -234,6 +250,11 @@ AddressMap::frameOfColorIndex(unsigned color, std::uint64_t index) const
     // Frame number layout (LSB first): chan | rank | bank | slot | row.
     // colorOf() orders colors as ((chan*ranks)+rank)*banks+bank, while
     // the frame's low bits order them as chan lowest. Re-split color.
+    unsigned sub = 0;
+    if (colorSubarrays_) {
+        sub = color % geom_.subarraysPerBank;
+        color /= geom_.subarraysPerBank;
+    }
     unsigned bank = color % geom_.banksPerRank;
     unsigned rank = (color / geom_.banksPerRank) % geom_.ranksPerChannel;
     unsigned chan = color / (geom_.banksPerRank * geom_.ranksPerChannel);
@@ -243,7 +264,16 @@ AddressMap::frameOfColorIndex(unsigned color, std::uint64_t index) const
     put(frame, shift, chan, chanBits_);
     put(frame, shift, rank, rankBits_);
     put(frame, shift, bank, bankBits_);
-    put(frame, shift, index, slotBits_ + rowBits_);
+    if (colorSubarrays_) {
+        // The subarray index is the low row bits, which sit just above
+        // the slot bits; the index enumerates slot + high row bits.
+        std::uint64_t slot = index & ((1ULL << slotBits_) - 1);
+        put(frame, shift, slot, slotBits_);
+        put(frame, shift, sub, subBits_);
+        put(frame, shift, index >> slotBits_, rowBits_ - subBits_);
+    } else {
+        put(frame, shift, index, slotBits_ + rowBits_);
+    }
     return frame;
 }
 
@@ -256,8 +286,14 @@ AddressMap::colorOfFrame(std::uint64_t frame) const
     auto chan = static_cast<unsigned>(take(f, chanBits_));
     auto rank = static_cast<unsigned>(take(f, rankBits_));
     auto bank = static_cast<unsigned>(take(f, bankBits_));
-    return ((chan * geom_.ranksPerChannel) + rank) * geom_.banksPerRank
+    unsigned bank_color =
+        ((chan * geom_.ranksPerChannel) + rank) * geom_.banksPerRank
         + bank;
+    if (!colorSubarrays_)
+        return bank_color;
+    take(f, slotBits_);
+    auto sub = static_cast<unsigned>(take(f, subBits_));
+    return bank_color * geom_.subarraysPerBank + sub;
 }
 
 } // namespace dbpsim

@@ -28,6 +28,7 @@ struct DramGeometry
     unsigned channels = 2;          ///< memory channels.
     unsigned ranksPerChannel = 2;   ///< ranks per channel.
     unsigned banksPerRank = 8;      ///< banks per rank.
+    unsigned subarraysPerBank = 8;  ///< subarrays per bank (SALP/MASA).
     std::uint64_t rowsPerBank = 32768; ///< rows per bank.
     std::uint64_t rowBytes = 8192;  ///< row (page) size per bank.
     std::uint64_t lineBytes = 64;   ///< cache-line / burst granularity.
@@ -95,6 +96,10 @@ std::string mapSchemeName(MapScheme scheme);
  *
  * A "color" identifies one physical bank machine-wide:
  *   color = ((channel * ranksPerChannel) + rank) * banksPerRank + bank.
+ * With subarray coloring enabled, each bank color subdivides into
+ * subarraysPerBank colors:
+ *   color = bankColor * subarraysPerBank + subarrayOf(row),
+ * so the OS can give two threads disjoint subarrays of one bank.
  */
 class AddressMap
 {
@@ -105,9 +110,12 @@ class AddressMap
      * @param bank_xor If true, the bank field is XOR-permuted with the
      *        low row bits (Zhang et al.) to spread conflicting rows.
      *        Incompatible with OS bank partitioning; default off.
+     * @param color_subarrays If true, colors name {channel, rank,
+     *        bank, subarray} instead of {channel, rank, bank}; the
+     *        partitioning axis gains subarray granularity.
      */
     AddressMap(const DramGeometry &geom, MapScheme scheme,
-               bool bank_xor = false);
+               bool bank_xor = false, bool color_subarrays = false);
 
     /** Decode a byte address into DRAM coordinates. */
     DramCoord decode(Addr addr) const;
@@ -124,13 +132,33 @@ class AddressMap
         unsigned channel;
         unsigned rank;
         unsigned bank;
+        unsigned subarray; ///< 0 unless subarray coloring is enabled.
     };
 
-    /** Inverse of colorOf: which (channel, rank, bank) a color names. */
+    /** Inverse of colorOf: which (channel, rank, bank[, subarray]) a
+     *  color names. */
     ColorLocation colorLocation(unsigned color) const;
 
-    /** Number of colors (== total banks). */
-    unsigned numColors() const { return geom_.totalBanks(); }
+    /** Number of colors (total banks, x subarrays when colored). */
+    unsigned numColors() const
+    {
+        return geom_.totalBanks()
+            * (colorSubarrays_ ? geom_.subarraysPerBank : 1u);
+    }
+
+    /**
+     * Subarray index of a row. The low row bits select the subarray,
+     * so a frame's slot-contiguous rows stripe across subarrays and
+     * the OS color arithmetic stays frame-granular (every byte of a
+     * frame shares one row, hence one subarray).
+     */
+    unsigned subarrayOf(std::uint64_t row) const
+    {
+        return static_cast<unsigned>(row & (geom_.subarraysPerBank - 1));
+    }
+
+    /** True iff colors carry the subarray index. */
+    bool subarrayColoring() const { return colorSubarrays_; }
 
     /** Geometry in use. */
     const DramGeometry &geometry() const { return geom_; }
@@ -165,6 +193,7 @@ class AddressMap
     DramGeometry geom_;
     MapScheme scheme_;
     bool bankXor_;
+    bool colorSubarrays_;
 
     unsigned chanBits_;
     unsigned rankBits_;
@@ -174,6 +203,7 @@ class AddressMap
     unsigned lineBits_;
     unsigned pageLineBits_; ///< log2(pageBytes / lineBytes).
     unsigned slotBits_;     ///< log2(rowBytes / pageBytes).
+    unsigned subBits_;      ///< log2(subarraysPerBank).
 };
 
 } // namespace dbpsim

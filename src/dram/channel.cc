@@ -16,6 +16,7 @@ dramCmdName(DramCmd cmd)
       case DramCmd::Write: return "WR";
       case DramCmd::ReadAp: return "RDA";
       case DramCmd::WriteAp: return "WRA";
+      case DramCmd::SaSel: return "SASEL";
       case DramCmd::Refresh: return "REF";
       case DramCmd::RefreshBank: return "REFpb";
     }
@@ -23,8 +24,9 @@ dramCmdName(DramCmd cmd)
 }
 
 DramChannel::DramChannel(const DramGeometry &geom, const DramTiming &timing,
-                         unsigned channel_id)
-    : timing_(timing), id_(channel_id), banksPerRank_(geom.banksPerRank)
+                         unsigned channel_id, SalpMode salp)
+    : timing_(timing), id_(channel_id), banksPerRank_(geom.banksPerRank),
+      salp_(salp), subarraysPerBank_(geom.subarraysPerBank)
 {
     std::string err = timing.validate();
     if (!err.empty())
@@ -34,6 +36,15 @@ DramChannel::DramChannel(const DramGeometry &geom, const DramTiming &timing,
     banks_.resize(geom.ranksPerChannel);
     for (auto &rank_banks : banks_)
         rank_banks.resize(geom.banksPerRank);
+
+    if (salp_ != SalpMode::None) {
+        subBanks_.resize(geom.ranksPerChannel);
+        for (auto &rank_subs : subBanks_) {
+            rank_subs.resize(geom.banksPerRank);
+            for (auto &sb : rank_subs)
+                sb.subs.resize(geom.subarraysPerBank);
+        }
+    }
 
     // Stagger initial refresh deadlines so ranks don't refresh in
     // lock-step (matches real controllers and avoids bus storms).
@@ -57,10 +68,24 @@ DramChannel::rank(unsigned rank_idx) const
     return ranks_[rank_idx];
 }
 
+const SubarrayBankState &
+DramChannel::subarrays(unsigned rank, unsigned bank_idx) const
+{
+    DBP_ASSERT(salp_ != SalpMode::None, "no subarray state with salp=none");
+    DBP_ASSERT(rank < ranks_.size(), "rank out of range");
+    DBP_ASSERT(bank_idx < banksPerRank_, "bank out of range");
+    return subBanks_[rank][bank_idx];
+}
+
 bool
 DramChannel::rowOpen(unsigned rank, unsigned bank_idx,
                      std::uint64_t row) const
 {
+    if (salp_ != SalpMode::None) {
+        const SubarrayState &s =
+            subBanks_[rank][bank_idx].subs[subarrayOf(row)];
+        return s.open && s.row == row;
+    }
     const BankState &b = bank(rank, bank_idx);
     return b.open && b.row == row;
 }
@@ -115,6 +140,9 @@ DramChannel::canIssue(DramCmd cmd, unsigned rank_idx, unsigned bank_idx,
     if (r.refreshing(now))
         return false;
 
+    if (salp_ != SalpMode::None)
+        return canIssueSalp(cmd, rank_idx, bank_idx, row, now);
+
     switch (cmd) {
       case DramCmd::Activate: {
         const BankState &b = banks_[rank_idx][bank_idx];
@@ -161,6 +189,90 @@ DramChannel::canIssue(DramCmd cmd, unsigned rank_idx, unsigned bank_idx,
         const BankState &b = banks_[rank_idx][bank_idx];
         return !b.open && now >= b.nextActivate;
       }
+      case DramCmd::SaSel:
+        return false; // meaningful only under MASA.
+    }
+    DBP_PANIC("unreachable DramCmd");
+}
+
+bool
+DramChannel::canIssueSalp(DramCmd cmd, unsigned rank_idx,
+                          unsigned bank_idx, std::uint64_t row,
+                          Cycle now) const
+{
+    const RankState &r = ranks_[rank_idx];
+
+    switch (cmd) {
+      case DramCmd::Activate: {
+        const SubarrayBankState &sb = subBanks_[rank_idx][bank_idx];
+        const SubarrayState &s = sb.subs[subarrayOf(row)];
+        if (s.open)
+            return false;
+        if (salp_ != SalpMode::Masa) {
+            // SALP-1/2 keep the one-open-row-per-bank invariant: the
+            // ACT may overlap another subarray's in-flight precharge
+            // (its nextActivate is not consulted), but every subarray
+            // must at least have been issued its PRE.
+            for (const SubarrayState &o : sb.subs)
+                if (o.open)
+                    return false;
+        }
+        return now >= s.nextActivate && now >= r.nextActivate &&
+               !fawBlocked(r, now);
+      }
+      case DramCmd::Precharge: {
+        const SubarrayState &s =
+            subBanks_[rank_idx][bank_idx].subs[subarrayOf(row)];
+        return now >= s.nextPrecharge;
+      }
+      case DramCmd::Read:
+      case DramCmd::ReadAp: {
+        const SubarrayBankState &sb = subBanks_[rank_idx][bank_idx];
+        unsigned si = subarrayOf(row);
+        const SubarrayState &s = sb.subs[si];
+        if (!s.open || s.row != row)
+            return false;
+        if (salp_ == SalpMode::Masa &&
+            (sb.designated != si || now < sb.designateReadyAt))
+            return false; // not linked to the global bitlines.
+        return now >= s.nextRead && now >= r.nextRead &&
+               now >= nextColCmd_ && dataBusOk(rank_idx, false, now);
+      }
+      case DramCmd::Write:
+      case DramCmd::WriteAp: {
+        const SubarrayBankState &sb = subBanks_[rank_idx][bank_idx];
+        unsigned si = subarrayOf(row);
+        const SubarrayState &s = sb.subs[si];
+        if (!s.open || s.row != row)
+            return false;
+        if (salp_ == SalpMode::Masa &&
+            (sb.designated != si || now < sb.designateReadyAt))
+            return false;
+        return now >= s.nextWrite && now >= nextColCmd_ &&
+               dataBusOk(rank_idx, true, now);
+      }
+      case DramCmd::SaSel: {
+        if (salp_ != SalpMode::Masa)
+            return false;
+        const SubarrayBankState &sb = subBanks_[rank_idx][bank_idx];
+        const SubarrayState &s = sb.subs[subarrayOf(row)];
+        if (!s.open || s.row != row)
+            return false;
+        return now >= sb.designateReadyAt; // relinks serialize.
+      }
+      case DramCmd::Refresh: {
+        for (unsigned b = 0; b < banksPerRank_; ++b)
+            for (const SubarrayState &s : subBanks_[rank_idx][b].subs)
+                if (s.open || now < s.nextActivate)
+                    return false;
+        return true;
+      }
+      case DramCmd::RefreshBank: {
+        for (const SubarrayState &s : subBanks_[rank_idx][bank_idx].subs)
+            if (s.open || now < s.nextActivate)
+                return false;
+        return true;
+      }
     }
     DBP_PANIC("unreachable DramCmd");
 }
@@ -185,6 +297,9 @@ DramChannel::issue(DramCmd cmd, unsigned rank_idx, unsigned bank_idx,
         ev.tid = tid;
         observer_->onCommand(ev);
     }
+
+    if (salp_ != SalpMode::None)
+        return issueSalp(cmd, rank_idx, bank_idx, row, now);
 
     RankState &r = ranks_[rank_idx];
 
@@ -270,8 +385,170 @@ DramChannel::issue(DramCmd cmd, unsigned rank_idx, unsigned bank_idx,
         statRefreshesPb.inc();
         return 0;
       }
+      case DramCmd::SaSel:
+        DBP_PANIC("SASEL issued with salp=none");
     }
     DBP_PANIC("unreachable DramCmd");
+}
+
+Cycle
+DramChannel::issueSalp(DramCmd cmd, unsigned rank_idx, unsigned bank_idx,
+                       std::uint64_t row, Cycle now)
+{
+    RankState &r = ranks_[rank_idx];
+
+    switch (cmd) {
+      case DramCmd::Activate: {
+        SubarrayBankState &sb = subBanks_[rank_idx][bank_idx];
+        unsigned si = subarrayOf(row);
+        SubarrayState &s = sb.subs[si];
+        s.open = true;
+        s.row = row;
+        s.nextRead = std::max(s.nextRead, now + timing_.tRCD);
+        s.nextWrite = std::max(s.nextWrite, now + timing_.tRCD);
+        s.nextPrecharge = std::max(s.nextPrecharge, now + timing_.tRAS);
+        s.nextActivate = std::max(s.nextActivate, now + timing_.tRC);
+        // The freshest activation drives the global bitlines; under
+        // MASA a later SA_SEL can hand them back to an older row.
+        sb.designated = si;
+        sb.designateReadyAt = now;
+        r.nextActivate = std::max(r.nextActivate, now + timing_.tRRD);
+        r.actWindow[r.actWindowPtr] = now;
+        r.actWindowPtr = (r.actWindowPtr + 1) % 4;
+        if (r.actWindowFill < 4)
+            ++r.actWindowFill;
+        statActs.inc();
+        syncMirror(rank_idx, bank_idx);
+        return 0;
+      }
+      case DramCmd::Precharge: {
+        SubarrayState &s =
+            subBanks_[rank_idx][bank_idx].subs[subarrayOf(row)];
+        s.open = false;
+        // SALP-2/MASA let the PRE issue during write recovery; its
+        // internal completion (and hence the next ACT) still waits.
+        Cycle done = now;
+        if (salp_ != SalpMode::Salp1)
+            done = std::max(done, s.wrRecoveryAt);
+        s.nextActivate = std::max(s.nextActivate, done + timing_.tRP);
+        statPrecharges.inc();
+        syncMirror(rank_idx, bank_idx);
+        return 0;
+      }
+      case DramCmd::Read:
+      case DramCmd::ReadAp: {
+        SubarrayState &s =
+            subBanks_[rank_idx][bank_idx].subs[subarrayOf(row)];
+        Cycle data_start = now + timing_.tCL;
+        Cycle data_end = data_start + timing_.tBURST;
+        occupyDataBus(rank_idx, false, data_start, data_end);
+        nextColCmd_ = now + timing_.tCCD;
+        s.nextPrecharge = std::max(s.nextPrecharge, now + timing_.tRTP);
+        if (cmd == DramCmd::ReadAp) {
+            s.open = false;
+            s.nextActivate = std::max(
+                s.nextActivate, now + timing_.tRTP + timing_.tRP);
+            statPrecharges.inc();
+        }
+        statReads.inc();
+        syncMirror(rank_idx, bank_idx);
+        return data_end;
+      }
+      case DramCmd::Write:
+      case DramCmd::WriteAp: {
+        SubarrayState &s =
+            subBanks_[rank_idx][bank_idx].subs[subarrayOf(row)];
+        Cycle data_start = now + timing_.tCWL;
+        Cycle data_end = data_start + timing_.tBURST;
+        occupyDataBus(rank_idx, true, data_start, data_end);
+        nextColCmd_ = now + timing_.tCCD;
+        if (salp_ == SalpMode::Salp1) {
+            // Without the second row-address latch the PRE itself must
+            // wait out the write recovery, exactly as in the seed.
+            s.nextPrecharge = std::max(s.nextPrecharge,
+                                       data_end + timing_.tWR);
+        } else {
+            s.nextPrecharge = std::max(s.nextPrecharge, data_end);
+            s.wrRecoveryAt = std::max(s.wrRecoveryAt,
+                                      data_end + timing_.tWR);
+        }
+        r.nextRead = std::max(r.nextRead, data_end + timing_.tWTR);
+        if (cmd == DramCmd::WriteAp) {
+            s.open = false;
+            s.nextActivate = std::max(
+                s.nextActivate, data_end + timing_.tWR + timing_.tRP);
+            statPrecharges.inc();
+        }
+        statWrites.inc();
+        syncMirror(rank_idx, bank_idx);
+        return data_end;
+      }
+      case DramCmd::SaSel: {
+        SubarrayBankState &sb = subBanks_[rank_idx][bank_idx];
+        sb.designated = subarrayOf(row);
+        sb.designateReadyAt = now + timing_.tSA;
+        statSaSels.inc();
+        syncMirror(rank_idx, bank_idx);
+        return 0;
+      }
+      case DramCmd::Refresh: {
+        for (unsigned b = 0; b < banksPerRank_; ++b) {
+            for (SubarrayState &s : subBanks_[rank_idx][b].subs)
+                s.nextActivate = std::max(s.nextActivate,
+                                          now + timing_.tRFC);
+            syncMirror(rank_idx, b);
+        }
+        r.refreshDoneAt = now + timing_.tRFC;
+        r.refreshDueAt += timing_.tREFI;
+        statRefreshes.inc();
+        return 0;
+      }
+      case DramCmd::RefreshBank: {
+        Cycle until = now + timing_.tRFCpb;
+        banks_[rank_idx][bank_idx].refreshUntil = until;
+        for (SubarrayState &s : subBanks_[rank_idx][bank_idx].subs) {
+            s.nextActivate = std::max(s.nextActivate, until);
+            s.nextPrecharge = std::max(s.nextPrecharge, until);
+            s.nextRead = std::max(s.nextRead, until);
+            s.nextWrite = std::max(s.nextWrite, until);
+        }
+        statRefreshesPb.inc();
+        syncMirror(rank_idx, bank_idx);
+        return 0;
+      }
+    }
+    DBP_PANIC("unreachable DramCmd");
+}
+
+void
+DramChannel::syncMirror(unsigned rank_idx, unsigned bank_idx)
+{
+    BankState &b = banks_[rank_idx][bank_idx];
+    const SubarrayBankState &sb = subBanks_[rank_idx][bank_idx];
+
+    Cycle next_act = 0;
+    for (const SubarrayState &s : sb.subs)
+        next_act = std::max(next_act, s.nextActivate);
+    b.nextActivate = next_act;
+
+    const SubarrayState *vis = nullptr;
+    if (sb.subs[sb.designated].open) {
+        vis = &sb.subs[sb.designated];
+    } else {
+        for (const SubarrayState &s : sb.subs) {
+            if (s.open) {
+                vis = &s;
+                break;
+            }
+        }
+    }
+    b.open = vis != nullptr;
+    if (vis) {
+        b.row = vis->row;
+        b.nextPrecharge = vis->nextPrecharge;
+        b.nextRead = vis->nextRead;
+        b.nextWrite = vis->nextWrite;
+    }
 }
 
 bool
@@ -288,8 +565,18 @@ DramChannel::blockBank(unsigned rank_idx, unsigned bank_idx, Cycle now,
 {
     DBP_ASSERT(rank_idx < ranks_.size(), "rank out of range");
     DBP_ASSERT(bank_idx < banksPerRank_, "bank out of range");
-    BankState &b = banks_[rank_idx][bank_idx];
     Cycle until = now + busy;
+    if (salp_ != SalpMode::None) {
+        for (SubarrayState &s : subBanks_[rank_idx][bank_idx].subs) {
+            s.nextActivate = std::max(s.nextActivate, until);
+            s.nextPrecharge = std::max(s.nextPrecharge, until);
+            s.nextRead = std::max(s.nextRead, until);
+            s.nextWrite = std::max(s.nextWrite, until);
+        }
+        syncMirror(rank_idx, bank_idx);
+        return;
+    }
+    BankState &b = banks_[rank_idx][bank_idx];
     b.nextActivate = std::max(b.nextActivate, until);
     b.nextPrecharge = std::max(b.nextPrecharge, until);
     b.nextRead = std::max(b.nextRead, until);

@@ -22,6 +22,7 @@
 #include "dram/addr_map.hh"
 #include "dram/bank.hh"
 #include "dram/rank.hh"
+#include "dram/subarray.hh"
 #include "dram/timing.hh"
 
 namespace dbpsim {
@@ -35,6 +36,7 @@ enum class DramCmd
     Write,
     ReadAp,  ///< READ with auto-precharge (closed-page policy).
     WriteAp, ///< WRITE with auto-precharge.
+    SaSel,   ///< MASA: relink the designated subarray latch (tSA).
     Refresh, ///< all-bank auto-refresh (rank granular).
     RefreshBank, ///< per-bank refresh (only the target bank blocked).
 };
@@ -52,16 +54,20 @@ class DramChannel
      * @param geom Machine geometry (rank/bank counts are read from it).
      * @param timing Timing rule set in bus cycles.
      * @param channel_id Identifier for diagnostics.
+     * @param salp Subarray-level parallelism mode; None keeps the
+     *        monolithic per-bank row buffer (seed behaviour).
      */
     DramChannel(const DramGeometry &geom, const DramTiming &timing,
-                unsigned channel_id);
+                unsigned channel_id, SalpMode salp = SalpMode::None);
 
     /**
      * Is @p cmd legal at cycle @p now?
      *
      * For Read/Write/ReadAp/WriteAp, @p row must equal the open row.
      * For Refresh, @p bank is ignored. Commands to a refreshing rank
-     * are illegal until the refresh completes.
+     * are illegal until the refresh completes. With SALP enabled,
+     * @p row also selects the target subarray (Precharge and SaSel
+     * included).
      */
     bool canIssue(DramCmd cmd, unsigned rank, unsigned bank,
                   std::uint64_t row, Cycle now) const;
@@ -110,6 +116,19 @@ class DramChannel
     /** Timing in use. */
     const DramTiming &timing() const { return timing_; }
 
+    /** Subarray-level parallelism mode. */
+    SalpMode salpMode() const { return salp_; }
+
+    /** Subarray index of a row (valid whatever the mode). */
+    unsigned subarrayOf(std::uint64_t row) const
+    {
+        return static_cast<unsigned>(row & (subarraysPerBank_ - 1));
+    }
+
+    /** Read-only subarray state of one bank (SALP modes only). */
+    const SubarrayBankState &subarrays(unsigned rank,
+                                       unsigned bank_idx) const;
+
     /**
      * Artificially occupy a bank for @p busy cycles starting at @p now
      * (used by the page-migration cost model). Blocks ACT/PRE/column
@@ -125,11 +144,30 @@ class DramChannel
     StatScalar statWrites;
     StatScalar statRefreshes;
     StatScalar statRefreshesPb; ///< per-bank REFpb commands.
+    StatScalar statSaSels;      ///< MASA SA_SEL relink commands.
     /// @}
 
   private:
     /** Data-bus availability for a column command issued at @p now. */
     bool dataBusOk(unsigned rank, bool is_write, Cycle now) const;
+
+    /** canIssue() body for the SALP modes (subarray-granular rules). */
+    bool canIssueSalp(DramCmd cmd, unsigned rank_idx, unsigned bank_idx,
+                      std::uint64_t row, Cycle now) const;
+
+    /** issue() body for the SALP modes. */
+    Cycle issueSalp(DramCmd cmd, unsigned rank_idx, unsigned bank_idx,
+                    std::uint64_t row, Cycle now);
+
+    /**
+     * Re-derive the legacy BankState view of one bank from its
+     * subarrays so mode-oblivious consumers (refresh engine,
+     * schedulers) see a coherent aggregate: open iff any subarray is
+     * open, the visible row is the designated (else lowest-indexed)
+     * open subarray's, and nextActivate is the max over subarrays
+     * (conservative, which is what refresh eligibility needs).
+     */
+    void syncMirror(unsigned rank_idx, unsigned bank_idx);
 
     /** Record a data burst occupying the bus. */
     void occupyDataBus(unsigned rank, bool is_write, Cycle data_start,
@@ -141,9 +179,13 @@ class DramChannel
     DramTiming timing_;
     unsigned id_;
     unsigned banksPerRank_;
+    SalpMode salp_;
+    unsigned subarraysPerBank_;
 
     std::vector<RankState> ranks_;
     std::vector<std::vector<BankState>> banks_; ///< [rank][bank].
+    /** [rank][bank] subarray state; empty when salp_ == None. */
+    std::vector<std::vector<SubarrayBankState>> subBanks_;
 
     CommandObserver *observer_ = nullptr; ///< protocol checker hook.
 

@@ -127,9 +127,12 @@ RefreshEngine::prechargeOne(unsigned rank, Cycle now)
 {
     for (unsigned b = 0; b < channel_.numBanks(); ++b) {
         const BankState &bs = channel_.bank(rank, b);
+        // PRE addressed to the open row so SALP modes close the right
+        // subarray (the row argument is ignored with salp=none).
         if (bs.open &&
-            channel_.canIssue(DramCmd::Precharge, rank, b, 0, now)) {
-            channel_.issue(DramCmd::Precharge, rank, b, 0, now);
+            channel_.canIssue(DramCmd::Precharge, rank, b, bs.row,
+                              now)) {
+            channel_.issue(DramCmd::Precharge, rank, b, bs.row, now);
             return true;
         }
     }
@@ -283,9 +286,10 @@ RefreshEngine::tickPerBank(Cycle now)
                 continue;
             const BankState &bs = channel_.bank(r, b);
             if (bs.open) {
-                if (channel_.canIssue(DramCmd::Precharge, r, b, 0,
+                if (channel_.canIssue(DramCmd::Precharge, r, b, bs.row,
                                       now)) {
-                    channel_.issue(DramCmd::Precharge, r, b, 0, now);
+                    channel_.issue(DramCmd::Precharge, r, b, bs.row,
+                                   now);
                     issued = true;
                 }
             } else if (channel_.canIssue(DramCmd::RefreshBank, r, b, 0,
@@ -321,8 +325,8 @@ RefreshEngine::tickPerBank(Cycle now)
                 if (pick == banks || due < bankDueAt_[r][pick])
                     pick = b;
             } else if (bs.open && owed &&
-                       channel_.canIssue(DramCmd::Precharge, r, b, 0,
-                                         now)) {
+                       channel_.canIssue(DramCmd::Precharge, r, b,
+                                         bs.row, now)) {
                 if (open_pick == banks ||
                     due < bankDueAt_[r][open_pick])
                     open_pick = b;
@@ -334,7 +338,8 @@ RefreshEngine::tickPerBank(Cycle now)
             bankLastRefreshAt_[r][pick] = now;
             issued = true;
         } else if (open_pick != banks) {
-            channel_.issue(DramCmd::Precharge, r, open_pick, 0, now);
+            channel_.issue(DramCmd::Precharge, r, open_pick,
+                           channel_.bank(r, open_pick).row, now);
             issued = true;
         }
     }

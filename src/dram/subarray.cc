@@ -1,0 +1,34 @@
+#include "dram/subarray.hh"
+
+#include "common/log.hh"
+
+namespace dbpsim {
+
+SalpMode
+salpModeByName(const std::string &name)
+{
+    if (name == "none")
+        return SalpMode::None;
+    if (name == "salp1")
+        return SalpMode::Salp1;
+    if (name == "salp2")
+        return SalpMode::Salp2;
+    if (name == "masa")
+        return SalpMode::Masa;
+    fatal("unknown SALP mode '", name,
+          "' (expected none|salp1|salp2|masa)");
+}
+
+const char *
+salpModeName(SalpMode mode)
+{
+    switch (mode) {
+      case SalpMode::None: return "none";
+      case SalpMode::Salp1: return "salp1";
+      case SalpMode::Salp2: return "salp2";
+      case SalpMode::Masa: return "masa";
+    }
+    DBP_PANIC("unreachable SalpMode");
+}
+
+} // namespace dbpsim

@@ -57,6 +57,17 @@ DramTiming::validate() const
         os << name << ": tRFC (" << tRFC << ") set but tRFCpb is zero";
         return os.str();
     }
+    if (tSA == 0) {
+        os << name << ": tSA is zero — SA_SEL relinking the designated "
+           << "subarray takes at least one cycle";
+        return os.str();
+    }
+    if (tSA > tRCD) {
+        os << name << ": tSA (" << tSA << ") > tRCD (" << tRCD
+           << ") — relinking an already-activated subarray's latch "
+           << "must be cheaper than a full activate";
+        return os.str();
+    }
     return std::string();
 }
 

@@ -46,6 +46,9 @@ struct DramTiming
     Cycle tREFI = 6240;///< average refresh interval (7.8 us).
     Cycle tRFC = 128;  ///< all-bank refresh cycle time (160 ns, 2 Gb).
     Cycle tRFCpb = 64; ///< per-bank refresh cycle time (REFpb).
+    Cycle tSA = 2;     ///< SA_SEL: subarray designated-latch relink
+                       ///< (MASA); a global-bitline mux switch, a few
+                       ///< cycles at most.
 
     /**
      * Sanity-check internal consistency (e.g. tRC >= tRAS + tRP, the

@@ -13,7 +13,7 @@ MemoryController::MemoryController(unsigned channel_id,
                                    Scheduler *scheduler,
                                    ThreadProfiler *profiler)
     : map_(map), params_(params),
-      channel_(map.geometry(), timing, channel_id),
+      channel_(map.geometry(), timing, channel_id, params.salp),
       refresh_(channel_, this, params.refresh), scheduler_(scheduler),
       profiler_(profiler)
 {
@@ -228,13 +228,42 @@ MemoryController::nextCommandFor(const MemRequest &req,
     NextCmd next;
     const BankState &bank = channel_.bank(req.coord.rank, req.coord.bank);
 
-    if (!bank.open) {
+    bool need_act = !bank.open;
+    bool hit = bank.open && bank.row == req.coord.row;
+    std::uint64_t conflict_row = bank.row;
+
+    if (channel_.salpMode() != SalpMode::None) {
+        const SubarrayBankState &sb =
+            channel_.subarrays(req.coord.rank, req.coord.bank);
+        unsigned si = channel_.subarrayOf(req.coord.row);
+        const SubarrayState &s = sb.subs[si];
+        hit = s.open && s.row == req.coord.row;
+        if (channel_.salpMode() == SalpMode::Masa) {
+            // Other subarrays' open rows never conflict under MASA;
+            // only the target subarray's state matters.
+            need_act = !s.open;
+            conflict_row = s.row;
+            if (hit && sb.designated != si) {
+                // Row already open locally: relink the global
+                // bitlines instead of precharging.
+                next.cmd = DramCmd::SaSel;
+                next.row = req.coord.row;
+                next.valid = true;
+                return next;
+            }
+        }
+        // SALP-1/2 keep one open row per bank, so the mirror view
+        // (need_act / conflict_row from BankState) stays correct; the
+        // win is in the channel overlapping PRE and ACT.
+    }
+
+    if (need_act) {
         next.cmd = DramCmd::Activate;
         next.row = req.coord.row;
         next.valid = true;
         return next;
     }
-    if (bank.row == req.coord.row) {
+    if (hit) {
         bool auto_pre = false;
         if (params_.pagePolicy == PagePolicy::Closed) {
             // Auto-precharge unless another queued request still wants
@@ -258,9 +287,9 @@ MemoryController::nextCommandFor(const MemRequest &req,
         next.valid = true;
         return next;
     }
-    // Conflict: the bank holds a different row.
+    // Conflict: the row buffer holds a different row.
     next.cmd = DramCmd::Precharge;
-    next.row = bank.row;
+    next.row = conflict_row;
     next.valid = true;
     return next;
 }
@@ -339,6 +368,12 @@ MemoryController::issueFromQueue(std::vector<MemRequest> &queue,
                        best_cmd.row, now, req.tid);
         req.triggeredAct = true; // a conflict service, not a hit.
         return true;
+      case DramCmd::SaSel:
+        // Relink only; the row stays open, so the later column
+        // command still counts as a row-hit service.
+        channel_.issue(best_cmd.cmd, req.coord.rank, req.coord.bank,
+                       best_cmd.row, now, req.tid);
+        return true;
       case DramCmd::Read:
       case DramCmd::ReadAp:
       case DramCmd::Write:
@@ -415,8 +450,11 @@ MemoryController::closeIdleRows(Cycle now)
             }
             if (wanted)
                 continue;
-            if (channel_.canIssue(DramCmd::Precharge, r, b, 0, now)) {
-                channel_.issue(DramCmd::Precharge, r, b, 0, now);
+            // Address the PRE to the open row so SALP modes close the
+            // right subarray (the row argument is ignored otherwise).
+            if (channel_.canIssue(DramCmd::Precharge, r, b, bs.row,
+                                  now)) {
+                channel_.issue(DramCmd::Precharge, r, b, bs.row, now);
                 statIdleRowCloses.inc();
                 return true;
             }

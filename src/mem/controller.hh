@@ -60,6 +60,7 @@ struct ControllerParams
     // dbplint:allow(cycle-literal) reason=adaptive page-policy tuning default, overridden by config key row_idle_timeout (fig18 sweeps it)
     Cycle rowIdleTimeout = 100;    ///< OpenAdaptive idle-close bound.
     RefreshParams refresh;         ///< refresh mode / window / DARP.
+    SalpMode salp = SalpMode::None; ///< subarray-level parallelism.
 };
 
 /**

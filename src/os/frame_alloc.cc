@@ -40,7 +40,7 @@ FrameAllocator::allocateInColor(unsigned color, std::uint64_t &frame)
 
 std::uint64_t
 FrameAllocator::allocate(const std::vector<unsigned> &colors,
-                         std::size_t &cursor)
+                         std::size_t &cursor, bool *fell_back)
 {
     DBP_ASSERT(colorAware_, "colored allocation on a non-colorable map");
     DBP_ASSERT(!colors.empty(), "empty color set");
@@ -51,8 +51,21 @@ FrameAllocator::allocate(const std::vector<unsigned> &colors,
         if (allocateInColor(color, frame))
             return frame;
     }
-    fatal("out of physical memory: all ", colors.size(),
-          " allowed bank colors exhausted");
+    // The allowed set is exhausted: fall back to any machine color so
+    // the run degrades (nonconforming pages a later migrate() can fix)
+    // instead of dying on what is usually a footprint/partition
+    // mismatch, not a capacity bug.
+    for (unsigned c = 0; c < numColors(); ++c) {
+        std::uint64_t frame;
+        if (allocateInColor(c, frame)) {
+            statFallbackAllocs.inc();
+            if (fell_back)
+                *fell_back = true;
+            return frame;
+        }
+    }
+    fatal("out of physical memory: all ", numColors(),
+          " bank colors exhausted machine-wide");
 }
 
 std::uint64_t

@@ -39,11 +39,17 @@ class FrameAllocator
      * Allocate from the first non-exhausted color in @p colors,
      * starting at @p cursor (advanced round-robin, wrapping). Spreads
      * a thread's pages across its colors to preserve intra-thread
-     * bank-level parallelism. fatal()s when every color is exhausted
-     * (machine out of memory: user misconfiguration).
+     * bank-level parallelism.
+     *
+     * When every allowed color is exhausted the allocator falls back
+     * to any non-exhausted machine color (counted in
+     * statFallbackAllocs; @p fell_back set when non-null) — the run
+     * degrades with nonconforming pages instead of dying. fatal()s
+     * only when the whole machine is out of frames.
      */
     std::uint64_t allocate(const std::vector<unsigned> &colors,
-                           std::size_t &cursor);
+                           std::size_t &cursor,
+                           bool *fell_back = nullptr);
 
     /**
      * Allocate ignoring colors (for non-colorable address maps).
@@ -73,6 +79,9 @@ class FrameAllocator
 
     /** Releases performed (stat). */
     StatScalar statReleases;
+
+    /** Allocations that fell outside the allowed color set (stat). */
+    StatScalar statFallbackAllocs;
 
   private:
     const AddressMap &map_;

@@ -21,6 +21,7 @@ OsMemory::OsMemory(const AddressMap &map, unsigned num_threads)
             all[c] = c;
     }
     colorSets_.assign(num_threads, all);
+    fallbackWarned_.assign(num_threads, 0);
     lazyEnabled_.assign(num_threads, false);
     nonconformingCount_.assign(num_threads, 0);
     lazyTokens_.assign(num_threads, 0);
@@ -46,6 +47,22 @@ OsMemory::notifyFrame(ThreadId tid, std::uint64_t frame)
         partObserver_->onFrameAllocated(tid, map_.colorOfFrame(frame));
 }
 
+std::uint64_t
+OsMemory::allocateFor(ThreadId tid)
+{
+    std::size_t t = idx(tid);
+    bool fell_back = false;
+    std::uint64_t frame =
+        allocator_.allocate(colorSets_[t], cursors_[t], &fell_back);
+    if (fell_back && !fallbackWarned_[t]) {
+        fallbackWarned_[t] = 1;
+        warn("thread ", tid, ": color set (", colorSets_[t].size(),
+             " colors) exhausted; allocating outside the partition "
+             "(reported once per thread; see fallback_allocs)");
+    }
+    return frame;
+}
+
 Addr
 OsMemory::translate(ThreadId tid, Addr vaddr)
 {
@@ -56,7 +73,7 @@ OsMemory::translate(ThreadId tid, Addr vaddr)
     std::uint64_t frame;
     if (!tables_[t].lookup(vpage, frame)) {
         if (allocator_.colorAware())
-            frame = allocator_.allocate(colorSets_[t], cursors_[t]);
+            frame = allocateFor(tid);
         else
             frame = allocator_.allocateAny();
         tables_[t].map(vpage, frame);
@@ -69,8 +86,7 @@ OsMemory::translate(ThreadId tid, Addr vaddr)
         unsigned color = map_.colorOfFrame(frame);
         const auto &set = colorSets_[t];
         if (!std::binary_search(set.begin(), set.end(), color)) {
-            std::uint64_t moved =
-                allocator_.allocate(colorSets_[t], cursors_[t]);
+            std::uint64_t moved = allocateFor(tid);
             tables_[t].remap(vpage, moved);
             notifyFrame(tid, moved);
             allocator_.release(frame);
@@ -184,8 +200,7 @@ OsMemory::migrate(ThreadId tid, std::uint64_t max_pages)
     for (const auto &[vpage, old_frame] : victims) {
         if (max_pages != 0 && result.pages >= max_pages)
             break;
-        std::uint64_t new_frame =
-            allocator_.allocate(colorSets_[t], cursors_[t]);
+        std::uint64_t new_frame = allocateFor(tid);
         tables_[t].remap(vpage, new_frame);
         notifyFrame(tid, new_frame);
         allocator_.release(old_frame);

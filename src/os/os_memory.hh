@@ -120,6 +120,12 @@ class OsMemory
     /** Report a frame grant to the partition observer (if any). */
     void notifyFrame(ThreadId tid, std::uint64_t frame);
 
+    /**
+     * Allocate from @p tid's color set, warning once per thread when
+     * the set is exhausted and the allocator falls back machine-wide.
+     */
+    std::uint64_t allocateFor(ThreadId tid);
+
     const AddressMap &map_;
     FrameAllocator allocator_;
     std::uint64_t pageBytes_;
@@ -128,6 +134,9 @@ class OsMemory
     std::vector<PageTable> tables_;
     std::vector<std::vector<unsigned>> colorSets_;
     std::vector<std::size_t> cursors_; ///< round-robin color cursor.
+
+    /** Per-thread one-shot color-exhaustion warning latch. */
+    std::vector<char> fallbackWarned_;
 
     /** @name Lazy migrate-on-touch state. */
     /// @{

@@ -12,12 +12,14 @@ namespace dbpsim {
 
 CombinedPolicy::CombinedPolicy(unsigned num_threads, unsigned channels,
                                unsigned ranks, unsigned banks,
-                               DbpParams dbp, McpParams mcp)
+                               DbpParams dbp, McpParams mcp,
+                               unsigned subarrays)
     : numThreads_(num_threads), channels_(channels), ranks_(ranks),
-      banks_(banks), dbpParams_(dbp),
-      mcp_(num_threads, channels, ranks, banks, mcp)
+      banks_(banks), subs_(subarrays), dbpParams_(dbp),
+      mcp_(num_threads, channels, ranks, banks, mcp, subarrays)
 {
     DBP_ASSERT(num_threads > 0, "dbp-mcp needs >= 1 thread");
+    DBP_ASSERT(subarrays > 0, "dbp-mcp needs >= 1 subarray per bank");
     currentLight_.assign(num_threads, false);
 }
 
@@ -26,7 +28,7 @@ CombinedPolicy::initialAssignment()
 {
     // Before any profile: the equal bank split over all channels
     // (same safe start as DBP).
-    UbpPolicy equal(numThreads_, channels_, ranks_, banks_);
+    UbpPolicy equal(numThreads_, channels_, ranks_, banks_, subs_);
     current_ = equal.initialAssignment();
     currentLight_.assign(numThreads_, false);
     return current_;
@@ -39,10 +41,11 @@ CombinedPolicy::groupColors(
     // Walk the machine-wide spreading order and keep the group's
     // channels, so slices inside the group still alternate across its
     // channels and ranks.
-    auto order = channelSpreadColorOrder(channels_, ranks_, banks_);
+    auto order =
+        channelSpreadColorOrder(channels_, ranks_, banks_, subs_);
     std::vector<unsigned> out;
     for (unsigned color : order) {
-        unsigned chan = color / (ranks_ * banks_);
+        unsigned chan = color / (ranks_ * banks_ * subs_);
         if (std::find(channel_list.begin(), channel_list.end(), chan) !=
             channel_list.end())
             out.push_back(color);
@@ -75,11 +78,14 @@ CombinedPolicy::splitGroup(const std::vector<unsigned> &members,
         return;
     }
 
+    // Bank-unit knobs scale to subarray colors.
+    const unsigned stream_colors = dbpParams_.streamBanks * subs_;
+
     std::vector<unsigned> heavy_colors = colors;
     if (!lights.empty()) {
         auto light_banks = static_cast<unsigned>(std::ceil(
             dbpParams_.lightBanksPerThread *
-            static_cast<double>(lights.size())));
+            static_cast<double>(lights.size()))) * subs_;
         unsigned cap = std::max(1u, static_cast<unsigned>(
             dbpParams_.lightShareCap *
             static_cast<double>(colors.size())));
@@ -110,11 +116,11 @@ CombinedPolicy::splitGroup(const std::vector<unsigned> &members,
     unsigned surplus = 0;
     for (std::size_t i = 0; i < members_h.size(); ++i) {
         const auto &p = profiles[members_h[i]];
-        if (base[i] > dbpParams_.streamBanks &&
+        if (base[i] > stream_colors &&
             p.rowBufferHitRate >= dbpParams_.streamRbhr &&
             p.rowParallelism <= dbpParams_.maxDonorRows) {
             donor[i] = true;
-            surplus += base[i] - dbpParams_.streamBanks;
+            surplus += base[i] - stream_colors;
         }
     }
     std::vector<double> weight(members_h.size(), 0.0);
@@ -136,7 +142,7 @@ CombinedPolicy::splitGroup(const std::vector<unsigned> &members,
     std::vector<double> exact(members_h.size(), 0.0);
     for (std::size_t i = 0; i < members_h.size(); ++i) {
         if (donor[i]) {
-            share[i] = dbpParams_.streamBanks;
+            share[i] = stream_colors;
         } else {
             exact[i] = surplus * weight[i] /
                 std::max(weight_sum, 1e-9);

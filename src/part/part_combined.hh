@@ -29,10 +29,13 @@ class CombinedPolicy : public PartitionPolicy
      * @param channels / @p ranks / @p banks Machine geometry.
      * @param dbp DBP knobs (donor thresholds, smoothing, hysteresis).
      * @param mcp MCP knobs (grouping thresholds).
+     * @param subarrays Colors per bank (subarray coloring). Bank-unit
+     *        knobs (streamBanks, lightBanksPerThread) scale by this
+     *        when group colors are carved.
      */
     CombinedPolicy(unsigned num_threads, unsigned channels,
                    unsigned ranks, unsigned banks, DbpParams dbp = {},
-                   McpParams mcp = {});
+                   McpParams mcp = {}, unsigned subarrays = 1);
 
     std::string name() const override { return "dbp-mcp"; }
 
@@ -66,6 +69,7 @@ class CombinedPolicy : public PartitionPolicy
     unsigned channels_;
     unsigned ranks_;
     unsigned banks_;
+    unsigned subs_;
     DbpParams dbpParams_;
     McpPolicy mcp_;
 

@@ -10,18 +10,22 @@
 namespace dbpsim {
 
 DbpPolicy::DbpPolicy(unsigned num_threads, unsigned channels,
-                     unsigned ranks, unsigned banks, DbpParams params)
+                     unsigned ranks, unsigned banks, DbpParams params,
+                     unsigned subarrays)
     : numThreads_(num_threads), channels_(channels), ranks_(ranks),
-      banks_(banks), totalColors_(channels * ranks * banks),
-      params_(params)
+      banks_(banks), subs_(subarrays),
+      bankColors_(channels * ranks * banks),
+      totalColors_(bankColors_ * subarrays), params_(params)
 {
     DBP_ASSERT(num_threads > 0, "dbp needs >= 1 thread");
     DBP_ASSERT(totalColors_ > 0, "dbp needs >= 1 bank");
+    DBP_ASSERT(subarrays > 0, "dbp needs >= 1 subarray per bank");
     if (params_.lightBanksPerThread <= 0.0)
         fatal("dbp: lightBanksPerThread must be > 0");
     if (params_.lightShareCap <= 0.0 || params_.lightShareCap > 1.0)
         fatal("dbp: lightShareCap out of (0,1]");
-    spreadOrder_ = channelSpreadColorOrder(channels_, ranks_, banks_);
+    spreadOrder_ =
+        channelSpreadColorOrder(channels_, ranks_, banks_, subs_);
     spreadPos_.assign(totalColors_, 0);
     for (unsigned pos = 0; pos < totalColors_; ++pos)
         spreadPos_[spreadOrder_[pos]] = pos;
@@ -41,10 +45,13 @@ DbpPolicy::initialAssignment()
 {
     // No profile yet: start from the equal partition (what the paper
     // compares against, and a safe default until measurements exist).
+    // Counts are in bank units (hysteresis compares against
+    // bankShares); ownership is carved in colors, whole banks at a
+    // time.
     std::vector<unsigned> counts(numThreads_, 0);
-    if (totalColors_ >= numThreads_) {
-        unsigned base = totalColors_ / numThreads_;
-        unsigned extra = totalColors_ % numThreads_;
+    if (bankColors_ >= numThreads_) {
+        unsigned base = bankColors_ / numThreads_;
+        unsigned extra = bankColors_ % numThreads_;
         for (unsigned t = 0; t < numThreads_; ++t)
             counts[t] = base + (t < extra ? 1 : 0);
     } else {
@@ -55,16 +62,18 @@ DbpPolicy::initialAssignment()
     sharedAll_ = false;
 
     clearOwnership();
-    if (totalColors_ >= numThreads_) {
+    if (bankColors_ >= numThreads_) {
         // Contiguous slices of the channel-spreading order.
         unsigned pos = 0;
         for (unsigned t = 0; t < numThreads_; ++t)
-            for (unsigned i = 0; i < counts[t]; ++i)
+            for (unsigned i = 0; i < counts[t] * subs_; ++i)
                 owned_[t].push_back(spreadOrder_[pos++]);
     } else {
         // Degenerate sharing: threads wrap around the banks.
         for (unsigned t = 0; t < numThreads_; ++t)
-            owned_[t].push_back(spreadOrder_[t % totalColors_]);
+            for (unsigned s = 0; s < subs_; ++s)
+                owned_[t].push_back(
+                    spreadOrder_[(t % bankColors_) * subs_ + s]);
     }
 
     PartitionAssignment out(numThreads_);
@@ -93,7 +102,7 @@ DbpPolicy::bankShares(const std::vector<ThreadMemProfile> &profiles) const
     // All threads light: no partitioning pressure — everyone shares
     // the whole machine.
     if (light_count == numThreads_) {
-        std::fill(shares.begin(), shares.end(), totalColors_);
+        std::fill(shares.begin(), shares.end(), bankColors_);
         return shares;
     }
 
@@ -105,16 +114,16 @@ DbpPolicy::bankShares(const std::vector<ThreadMemProfile> &profiles) const
         light_banks = static_cast<unsigned>(std::ceil(
             params_.lightBanksPerThread * light_count));
         unsigned cap = std::max(1u, static_cast<unsigned>(
-            params_.lightShareCap * totalColors_));
+            params_.lightShareCap * bankColors_));
         light_banks = std::clamp(light_banks, 1u, cap);
     }
     // Every heavy thread needs at least one bank; shrink the light
     // group if necessary.
-    while (light_banks > 1 && totalColors_ - light_banks < heavy_count)
+    while (light_banks > 1 && bankColors_ - light_banks < heavy_count)
         --light_banks;
 
-    unsigned remaining = totalColors_ > light_banks
-        ? totalColors_ - light_banks : 0;
+    unsigned remaining = bankColors_ > light_banks
+        ? bankColors_ - light_banks : 0;
 
     if (remaining < heavy_count) {
         // Pathological (more heavy threads than banks): every heavy
@@ -312,6 +321,14 @@ DbpPolicy::onInterval(const std::vector<ThreadMemProfile> &profiles)
                << ",drp=" << smoothed_[t].rowParallelism
                << ",mpki=" << smoothed_[t].mpki << ")";
         inform(os.str());
+    }
+    if (subs_ > 1) {
+        // bankShares thinks in banks; ownership is carved in subarray
+        // colors, a whole bank's worth at a time.
+        std::vector<unsigned> color_counts(shares);
+        for (unsigned &c : color_counts)
+            c *= subs_;
+        return buildAssignment(color_counts, light);
     }
     return buildAssignment(shares, light);
 }

@@ -105,9 +105,15 @@ class DbpPolicy : public PartitionPolicy
      * @param num_threads Hardware threads.
      * @param channels / @p ranks / @p banks Machine geometry.
      * @param params Tuning knobs.
+     * @param subarrays Colors per bank (subarray coloring). Demand
+     *        estimation stays in bank units — the paper's estimator
+     *        reasons about bank-level parallelism — and shares are
+     *        scaled to whole banks' worth of subarray colors when the
+     *        assignment is carved.
      */
     DbpPolicy(unsigned num_threads, unsigned channels, unsigned ranks,
-              unsigned banks, DbpParams params = {});
+              unsigned banks, DbpParams params = {},
+              unsigned subarrays = 1);
 
     std::string name() const override { return "dbp"; }
 
@@ -153,7 +159,9 @@ class DbpPolicy : public PartitionPolicy
     unsigned channels_;
     unsigned ranks_;
     unsigned banks_;
-    unsigned totalColors_;
+    unsigned subs_;        ///< colors per bank.
+    unsigned bankColors_;  ///< machine-wide banks (demand units).
+    unsigned totalColors_; ///< bankColors_ * subs_ (assignment units).
     DbpParams params_;
 
     /** Colors in channel-spreading order, and each color's position. */

@@ -20,25 +20,28 @@ std::unique_ptr<PartitionPolicy>
 makePartitionPolicy(const std::string &name, const PartitionInit &init)
 {
     const DramGeometry &g = init.geometry;
+    const unsigned subs = init.coloredSubarrays;
     if (name == "none")
         return std::make_unique<NonePolicy>(init.numThreads,
-                                            g.totalBanks());
+                                            g.totalBanks() * subs);
     if (name == "ubp")
         return std::make_unique<UbpPolicy>(init.numThreads, g.channels,
                                            g.ranksPerChannel,
-                                           g.banksPerRank);
+                                           g.banksPerRank, subs);
     if (name == "dbp")
         return std::make_unique<DbpPolicy>(init.numThreads, g.channels,
                                            g.ranksPerChannel,
-                                           g.banksPerRank, init.dbp);
+                                           g.banksPerRank, init.dbp,
+                                           subs);
     if (name == "mcp")
         return std::make_unique<McpPolicy>(init.numThreads, g.channels,
                                            g.ranksPerChannel,
-                                           g.banksPerRank, init.mcp);
+                                           g.banksPerRank, init.mcp,
+                                           subs);
     if (name == "dbp-mcp")
         return std::make_unique<CombinedPolicy>(
             init.numThreads, g.channels, g.ranksPerChannel,
-            g.banksPerRank, init.dbp, init.mcp);
+            g.banksPerRank, init.dbp, init.mcp, subs);
     fatal("unknown partition policy '", name,
           "' (expected none|ubp|dbp|mcp|dbp-mcp)");
 }

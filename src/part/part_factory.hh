@@ -26,6 +26,13 @@ struct PartitionInit
     DramGeometry geometry;
     DbpParams dbp;
     McpParams mcp;
+
+    /**
+     * Colors per bank. 1 = bank-granular coloring (the paper's
+     * machine); geometry.subarraysPerBank when the address map colors
+     * by subarray (subarray_color=1 with a SALP mode).
+     */
+    unsigned coloredSubarrays = 1;
 };
 
 /** Names accepted by makePartitionPolicy, in a stable order. */

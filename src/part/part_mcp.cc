@@ -8,22 +8,26 @@
 namespace dbpsim {
 
 McpPolicy::McpPolicy(unsigned num_threads, unsigned channels,
-                     unsigned ranks, unsigned banks, McpParams params)
+                     unsigned ranks, unsigned banks, McpParams params,
+                     unsigned subarrays)
     : numThreads_(num_threads), channels_(channels), ranks_(ranks),
-      banks_(banks), params_(params)
+      banks_(banks), subs_(subarrays), params_(params)
 {
     DBP_ASSERT(num_threads > 0, "mcp needs >= 1 thread");
     DBP_ASSERT(channels > 0, "mcp needs >= 1 channel");
+    DBP_ASSERT(subarrays > 0, "mcp needs >= 1 subarray per bank");
 }
 
 std::vector<unsigned>
 McpPolicy::channelColors(unsigned channel) const
 {
     std::vector<unsigned> out;
-    out.reserve(static_cast<std::size_t>(ranks_) * banks_);
+    out.reserve(static_cast<std::size_t>(ranks_) * banks_ * subs_);
     for (unsigned r = 0; r < ranks_; ++r)
         for (unsigned b = 0; b < banks_; ++b)
-            out.push_back((channel * ranks_ + r) * banks_ + b);
+            for (unsigned s = 0; s < subs_; ++s)
+                out.push_back(((channel * ranks_ + r) * banks_ + b) *
+                                  subs_ + s);
     return out;
 }
 

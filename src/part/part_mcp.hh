@@ -43,9 +43,13 @@ class McpPolicy : public PartitionPolicy
     /**
      * @param num_threads Hardware threads.
      * @param channels / @p ranks / @p banks Machine geometry.
+     * @param subarrays Colors per bank (subarray coloring). MCP
+     *        partitions at channel granularity, so a channel simply
+     *        contributes ranks*banks*subarrays colors.
      */
     McpPolicy(unsigned num_threads, unsigned channels, unsigned ranks,
-              unsigned banks, McpParams params = {});
+              unsigned banks, McpParams params = {},
+              unsigned subarrays = 1);
 
     std::string name() const override { return "mcp"; }
 
@@ -73,6 +77,7 @@ class McpPolicy : public PartitionPolicy
     unsigned channels_;
     unsigned ranks_;
     unsigned banks_;
+    unsigned subs_;
     McpParams params_;
 
     /** Last adopted per-thread channel sets (to skip no-op updates). */

@@ -5,18 +5,19 @@
 namespace dbpsim {
 
 UbpPolicy::UbpPolicy(unsigned num_threads, unsigned channels,
-                     unsigned ranks, unsigned banks)
+                     unsigned ranks, unsigned banks, unsigned subarrays)
     : numThreads_(num_threads), channels_(channels), ranks_(ranks),
-      banks_(banks)
+      banks_(banks), subs_(subarrays)
 {
     DBP_ASSERT(num_threads > 0, "ubp needs >= 1 thread");
+    DBP_ASSERT(subarrays > 0, "ubp needs >= 1 subarray per bank");
 }
 
 PartitionAssignment
 UbpPolicy::initialAssignment()
 {
     std::vector<unsigned> order =
-        channelSpreadColorOrder(channels_, ranks_, banks_);
+        channelSpreadColorOrder(channels_, ranks_, banks_, subs_);
     unsigned total = static_cast<unsigned>(order.size());
 
     PartitionAssignment out(numThreads_);

@@ -23,9 +23,10 @@ class UbpPolicy : public PartitionPolicy
      * @param num_threads Hardware threads.
      * @param channels / @p ranks / @p banks Machine geometry, used to
      *        spread each thread's equal share across channels/ranks.
+     * @param subarrays Colors per bank (1 = bank-granular coloring).
      */
     UbpPolicy(unsigned num_threads, unsigned channels, unsigned ranks,
-              unsigned banks);
+              unsigned banks, unsigned subarrays = 1);
 
     std::string name() const override { return "ubp"; }
 
@@ -43,6 +44,7 @@ class UbpPolicy : public PartitionPolicy
     unsigned channels_;
     unsigned ranks_;
     unsigned banks_;
+    unsigned subs_;
 };
 
 } // namespace dbpsim

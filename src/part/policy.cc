@@ -5,16 +5,20 @@
 namespace dbpsim {
 
 std::vector<unsigned>
-channelSpreadColorOrder(unsigned channels, unsigned ranks, unsigned banks)
+channelSpreadColorOrder(unsigned channels, unsigned ranks, unsigned banks,
+                        unsigned subarrays)
 {
-    DBP_ASSERT(channels > 0 && ranks > 0 && banks > 0,
+    DBP_ASSERT(channels > 0 && ranks > 0 && banks > 0 && subarrays > 0,
                "bad geometry for color order");
     std::vector<unsigned> order;
-    order.reserve(static_cast<std::size_t>(channels) * ranks * banks);
+    order.reserve(static_cast<std::size_t>(channels) * ranks * banks *
+                  subarrays);
     for (unsigned b = 0; b < banks; ++b)
         for (unsigned r = 0; r < ranks; ++r)
             for (unsigned c = 0; c < channels; ++c)
-                order.push_back((c * ranks + r) * banks + b);
+                for (unsigned s = 0; s < subarrays; ++s)
+                    order.push_back(((c * ranks + r) * banks + b) *
+                                        subarrays + s);
     return order;
 }
 

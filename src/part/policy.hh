@@ -58,14 +58,22 @@ class PartitionPolicy
 };
 
 /**
- * Enumerate @p num_colors machine colors in channel-spreading order:
- * consecutive positions alternate channel first, then rank, then bank
- * index. Slicing this sequence gives every slice the widest possible
+ * Enumerate the machine colors in channel-spreading order: consecutive
+ * positions alternate channel first, then rank, then bank index.
+ * Slicing this sequence gives every slice the widest possible
  * channel/rank spread (preserves intra-thread parallelism).
+ *
+ * With subarray coloring (@p subarrays > 1) each bank contributes
+ * @p subarrays consecutive colors, so positions [k*subarrays,
+ * (k+1)*subarrays) are the subarrays of the k-th bank of the spread
+ * sequence: slices at whole-bank multiples still own whole banks, and
+ * policies that think in bank units scale their counts by
+ * @p subarrays.
  */
 std::vector<unsigned> channelSpreadColorOrder(unsigned channels,
                                               unsigned ranks,
-                                              unsigned banks);
+                                              unsigned banks,
+                                              unsigned subarrays = 1);
 
 } // namespace dbpsim
 

@@ -41,6 +41,8 @@ SystemParams::applyConfig(const Config &config)
         config.getUInt("banks", geometry.banksPerRank));
     geometry.rowsPerBank = config.getUInt("rows", geometry.rowsPerBank);
     geometry.rowBytes = config.getUInt("row_bytes", geometry.rowBytes);
+    geometry.subarraysPerBank = static_cast<unsigned>(
+        config.getUInt("subarrays", geometry.subarraysPerBank));
 
     timingName = config.getString("timing", timingName);
     if (config.has("map"))
@@ -84,6 +86,18 @@ SystemParams::applyConfig(const Config &config)
     trefiOverride = config.getUInt("trefi", trefiOverride);
     trfcOverride = config.getUInt("trfc", trfcOverride);
     trfcPbOverride = config.getUInt("trfc_pb", trfcPbOverride);
+
+    if (config.has("salp"))
+        controller.salp =
+            salpModeByName(config.getString("salp", "none"));
+    tsaOverride = config.getUInt("tsa", tsaOverride);
+    subarrayColoring = config.getBool("subarray_color",
+                                      subarrayColoring);
+    if (subarrayColoring && controller.salp == SalpMode::None)
+        fatal("subarray_color=1 requires a salp mode: without "
+              "subarray-level parallelism the finer colors only "
+              "shrink each thread's usable row-buffer set");
+
     scheduler = config.getString("sched", scheduler);
     partition = config.getString("part", partition);
 
@@ -142,6 +156,12 @@ SystemParams::summary() const
        << ", refresh=" << refreshModeName(controller.refresh.mode);
     if (controller.refresh.aware)
         os << "+aware";
+    if (controller.salp != SalpMode::None) {
+        os << ", salp=" << salpModeName(controller.salp) << " ("
+           << geometry.subarraysPerBank << " subarrays)";
+        if (subarrayColoring)
+            os << "+color";
+    }
     return os.str();
 }
 

@@ -52,6 +52,16 @@ struct SystemParams
     Cycle trfcPbOverride = 0;
     /// @}
 
+    /** SA_SEL relink override (0 = preset; config key "tsa"). */
+    Cycle tsaOverride = 0;
+
+    /**
+     * Color frames by {channel, rank, bank, subarray} instead of bank
+     * (config key "subarray_color"): partitioning policies then carve
+     * subarray-granular color sets. Meaningful with a SALP mode.
+     */
+    bool subarrayColoring = false;
+
     /** Address-mapping scheme (page interleave enables coloring). */
     MapScheme scheme = MapScheme::PageInterleave;
 
@@ -120,6 +130,8 @@ struct SystemParams
             t.tRFC = trfcOverride;
         if (trfcPbOverride)
             t.tRFCpb = trfcPbOverride;
+        if (tsaOverride)
+            t.tSA = tsaOverride;
         return t;
     }
 

@@ -11,7 +11,8 @@ namespace dbpsim {
 System::System(const SystemParams &params,
                const std::vector<TraceSource *> &sources)
     : params_(params),
-      map_(params.geometry, params.scheme, params.bankXor)
+      map_(params.geometry, params.scheme, params.bankXor,
+           params.subarrayColoring)
 {
     if (sources.size() != params_.numCores)
         fatal("system: ", params_.numCores, " cores but ",
@@ -26,6 +27,8 @@ System::System(const SystemParams &params,
         cpp.refreshPostponeMax = params_.controller.refresh.postponeMax;
         cpp.expectRefresh =
             params_.controller.refresh.mode != RefreshMode::None;
+        cpp.salp = params_.controller.salp;
+        cpp.subarrayColoring = params_.subarrayColoring;
         checker_ = std::make_unique<ProtocolChecker>(
             params_.geometry, timing, params_.numCores, cpp);
     }
@@ -59,6 +62,8 @@ System::System(const SystemParams &params,
     pinit.geometry = params_.geometry;
     pinit.dbp = params_.dbp;
     pinit.mcp = params_.mcp;
+    if (params_.subarrayColoring)
+        pinit.coloredSubarrays = params_.geometry.subarraysPerBank;
     partMgr_ = std::make_unique<PartitionManager>(
         makePartitionPolicy(params_.partition, pinit), *os_,
         raw_controllers, map_, params_.partMgr);
@@ -248,6 +253,7 @@ System::dumpStats(std::ostream &os) const
         g.addScalar("dram_writes", &mc.channel().statWrites);
         g.addScalar("dram_refreshes", &mc.channel().statRefreshes);
         g.addScalar("dram_refreshes_pb", &mc.channel().statRefreshesPb);
+        g.addScalar("dram_sasels", &mc.channel().statSaSels);
         g.dump(os);
     }
 
@@ -269,6 +275,8 @@ System::dumpStats(std::ostream &os) const
         StatGroup g("os");
         g.addScalar("frames_allocated", &os_->allocator().statAllocs);
         g.addScalar("frames_released", &os_->allocator().statReleases);
+        g.addScalar("fallback_allocs",
+                    &os_->allocator().statFallbackAllocs);
         g.addScalar("pages_migrated", &os_->statMigratedPages);
         g.dump(os);
     }

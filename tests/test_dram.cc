@@ -390,6 +390,129 @@ TEST(Channel, CmdNamesPrintable)
     EXPECT_STREQ(dramCmdName(DramCmd::Activate), "ACT");
     EXPECT_STREQ(dramCmdName(DramCmd::Refresh), "REF");
     EXPECT_STREQ(dramCmdName(DramCmd::RefreshBank), "REFpb");
+    EXPECT_STREQ(dramCmdName(DramCmd::SaSel), "SASEL");
+}
+
+// ---------------------------------------------------------------------
+// Subarray FSM (SALP-1 / SALP-2 / MASA). Rows map to subarrays via the
+// low row bits, so with the default 8 subarrays rows 0 and 8 share
+// subarray 0 while row 1 lives in subarray 1.
+// ---------------------------------------------------------------------
+
+TEST(Salp, Salp1OverlapsPrechargeWithActToOtherSubarray)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch(geo(), t, 0, SalpMode::Salp1);
+
+    ch.issue(DramCmd::Activate, 0, 0, 0, 0); // subarray 0.
+    // SALP-1 keeps one open row per bank: while subarray 0 is open,
+    // no other subarray may activate (rank tRRD satisfied or not).
+    EXPECT_FALSE(ch.canIssue(DramCmd::Activate, 0, 0, 1, t.tRRD));
+
+    Cycle pre = t.tRAS;
+    ch.issue(DramCmd::Precharge, 0, 0, 0, pre);
+    // The moment the PRE is issued, an ACT to *another* subarray is
+    // legal — the in-flight tRP of subarray 0 is not consulted.
+    EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 0, 0, 1, pre));
+    // The precharged subarray itself still owes tRP (== tRC here,
+    // since the preset has tRC = tRAS + tRP exactly).
+    EXPECT_FALSE(ch.canIssue(DramCmd::Activate, 0, 0, 8, pre));
+    EXPECT_FALSE(ch.canIssue(DramCmd::Activate, 0, 0, 8,
+                             pre + t.tRP - 1));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 0, 0, 8, pre + t.tRP));
+}
+
+TEST(Salp, Salp1PrechargeWaitsOutWriteRecovery)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch(geo(), t, 0, SalpMode::Salp1);
+
+    ch.issue(DramCmd::Activate, 0, 0, 0, 0);
+    Cycle wr = t.tRCD;
+    ch.issue(DramCmd::Write, 0, 0, 0, wr);
+    Cycle data_end = wr + t.tCWL + t.tBURST;
+    // Without the second row-address latch the PRE itself must wait
+    // out tWR, exactly like the monolithic bank.
+    EXPECT_FALSE(ch.canIssue(DramCmd::Precharge, 0, 0, 0, data_end));
+    EXPECT_FALSE(ch.canIssue(DramCmd::Precharge, 0, 0, 0,
+                             data_end + t.tWR - 1));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Precharge, 0, 0, 0,
+                            data_end + t.tWR));
+}
+
+TEST(Salp, Salp2PrechargeOverlapsWriteRecovery)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch(geo(), t, 0, SalpMode::Salp2);
+
+    ch.issue(DramCmd::Activate, 0, 0, 0, 0);
+    Cycle wr = t.tRCD;
+    ch.issue(DramCmd::Write, 0, 0, 0, wr);
+    Cycle data_end = wr + t.tCWL + t.tBURST;
+    // SALP-2's second row-address latch frees the PRE at the write
+    // data end (tRAS permitting) instead of data end + tWR.
+    Cycle pre = std::max(data_end, t.tRAS);
+    EXPECT_TRUE(ch.canIssue(DramCmd::Precharge, 0, 0, 0, pre));
+    ch.issue(DramCmd::Precharge, 0, 0, 0, pre);
+
+    // Another subarray activates immediately — overlapping both the
+    // precharge and the deferred write recovery...
+    EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 0, 0, 1, pre));
+    // ...while the same subarray waits for the recovery's internal
+    // completion plus tRP.
+    Cycle ready = std::max(t.tRC, data_end + t.tWR + t.tRP);
+    EXPECT_FALSE(ch.canIssue(DramCmd::Activate, 0, 0, 8, ready - 1));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Activate, 0, 0, 8, ready));
+}
+
+TEST(Salp, MasaHoldsMultipleOpenRowsWithDesignatedLatch)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch(geo(), t, 0, SalpMode::Masa);
+
+    ch.issue(DramCmd::Activate, 0, 0, 0, 0); // subarray 0.
+    Cycle act2 = t.tRRD;
+    // MASA: a second subarray activates while the first stays open.
+    ASSERT_TRUE(ch.canIssue(DramCmd::Activate, 0, 0, 1, act2));
+    ch.issue(DramCmd::Activate, 0, 0, 1, act2); // designates sub 1.
+    EXPECT_TRUE(ch.subarrays(0, 0).subs[0].open);
+    EXPECT_TRUE(ch.subarrays(0, 0).subs[1].open);
+
+    // Column commands are legal only to the designated subarray.
+    Cycle rd = act2 + t.tRCD;
+    EXPECT_TRUE(ch.canIssue(DramCmd::Read, 0, 0, 1, rd));
+    EXPECT_FALSE(ch.canIssue(DramCmd::Read, 0, 0, 0, rd));
+
+    // SA_SEL relinks the latch back to subarray 0 after tSA.
+    EXPECT_FALSE(ch.canIssue(DramCmd::SaSel, 0, 0, 2, rd)); // closed.
+    ASSERT_TRUE(ch.canIssue(DramCmd::SaSel, 0, 0, 0, rd));
+    ch.issue(DramCmd::SaSel, 0, 0, 0, rd);
+    EXPECT_EQ(ch.statSaSels.value(), 1u);
+    EXPECT_FALSE(ch.canIssue(DramCmd::Read, 0, 0, 0, rd + t.tSA - 1));
+    EXPECT_TRUE(ch.canIssue(DramCmd::Read, 0, 0, 0, rd + t.tSA));
+    EXPECT_FALSE(ch.canIssue(DramCmd::Read, 0, 0, 1, rd + t.tSA));
+}
+
+TEST(Salp, MirrorAggregatesSubarraysForModeObliviousConsumers)
+{
+    DramTiming t = ddr3_1600();
+    DramChannel ch(geo(), t, 0, SalpMode::Masa);
+
+    ch.issue(DramCmd::Activate, 0, 0, 0, 0);
+    ch.issue(DramCmd::Activate, 0, 0, 1, t.tRRD);
+    // The legacy view shows the designated subarray's row and stays
+    // open while any subarray is open.
+    EXPECT_TRUE(ch.bank(0, 0).open);
+    EXPECT_TRUE(ch.rowOpen(0, 0, 1));
+
+    // Refresh is illegal while any subarray holds an open row.
+    Cycle late = 10 * t.tRC;
+    EXPECT_FALSE(ch.canIssue(DramCmd::Refresh, 0, 0, 0, late));
+    ch.issue(DramCmd::Precharge, 0, 0, 0, t.tRAS);
+    EXPECT_FALSE(ch.canIssue(DramCmd::Refresh, 0, 0, 0, late));
+    ch.issue(DramCmd::Precharge, 0, 0, 1, t.tRRD + t.tRAS);
+    EXPECT_FALSE(ch.bank(0, 0).open);
+    EXPECT_TRUE(ch.canIssue(DramCmd::Refresh, 0, 0, 0, late));
 }
 
 } // namespace

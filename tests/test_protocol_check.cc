@@ -559,6 +559,105 @@ TEST(ProtocolCheck, AllocationOutsideColorSetFlags)
 }
 
 // ---------------------------------------------------------------------
+// Subarray rules (SALP/MASA).
+// ---------------------------------------------------------------------
+
+TEST(ProtocolCheck, MasaCleanSequenceIsViolationFree)
+{
+    DramTiming tm = ddr3_1600();
+    ProtocolCheckerParams params;
+    params.salp = SalpMode::Masa;
+    ProtocolChecker pc(geo(), tm, 1, params);
+
+    // Two subarrays open at once; column commands follow the
+    // designated latch, relinked by SA_SEL after tSA.
+    pc.onCommand(ev(DramCmd::Activate, 0, 0, 0, 0));
+    pc.onCommand(ev(DramCmd::Activate, 0, 0, 1, tm.tRRD));
+    Cycle rd1 = tm.tRRD + tm.tRCD;
+    pc.onCommand(ev(DramCmd::Read, 0, 0, 1, rd1));
+    Cycle sel = rd1 + 1;
+    pc.onCommand(ev(DramCmd::SaSel, 0, 0, 0, sel));
+    Cycle rd2 = std::max({sel + tm.tSA, rd1 + tm.tCCD,
+                          rd1 + tm.tBURST});
+    pc.onCommand(ev(DramCmd::Read, 0, 0, 0, rd2));
+    EXPECT_EQ(pc.violations(), 0u) << pc.lastViolation();
+}
+
+TEST(ProtocolCheck, EarlySaSelRelinkFlagsTsa)
+{
+    DramTiming tm = ddr3_1600();
+    ProtocolCheckerParams params;
+    params.salp = SalpMode::Masa;
+    ProtocolChecker pc(geo(), tm, 1, params);
+
+    pc.onCommand(ev(DramCmd::Activate, 0, 0, 0, 0));
+    pc.onCommand(ev(DramCmd::Activate, 0, 0, 1, tm.tRRD));
+    Cycle sel = tm.tRRD + 1;
+    pc.onCommand(ev(DramCmd::SaSel, 0, 0, 0, sel));
+    // A second relink before the first one's tSA has elapsed.
+    pc.onCommand(ev(DramCmd::SaSel, 0, 0, 1, sel + tm.tSA - 1));
+    EXPECT_EQ(pc.violations(Violation::TimingTSA), 1u);
+    EXPECT_EQ(pc.violations(), 1u) << pc.lastViolation();
+}
+
+TEST(ProtocolCheck, Salp1ActWhileAnotherSubarrayOpenFlags)
+{
+    DramTiming tm = ddr3_1600();
+    ProtocolCheckerParams params;
+    params.salp = SalpMode::Salp1;
+    ProtocolChecker pc(geo(), tm, 1, params);
+
+    pc.onCommand(ev(DramCmd::Activate, 0, 0, 0, 0));
+    // SALP-1/2 keep one open row per bank: activating subarray 1
+    // while subarray 0 still holds its row breaks the mode invariant.
+    pc.onCommand(ev(DramCmd::Activate, 0, 0, 1, tm.tRRD));
+    EXPECT_EQ(pc.violations(Violation::SubarrayActIllegal), 1u);
+    EXPECT_EQ(pc.violations(), 1u) << pc.lastViolation();
+}
+
+TEST(ProtocolCheck, ColumnToNonDesignatedSubarrayFlags)
+{
+    DramTiming tm = ddr3_1600();
+    ProtocolCheckerParams params;
+    params.salp = SalpMode::Masa;
+    ProtocolChecker pc(geo(), tm, 1, params);
+
+    pc.onCommand(ev(DramCmd::Activate, 0, 0, 0, 0));
+    pc.onCommand(ev(DramCmd::Activate, 0, 0, 1, tm.tRRD));
+    // The second ACT designated subarray 1; a read to subarray 0's
+    // open row without an SA_SEL relink is illegal.
+    pc.onCommand(ev(DramCmd::Read, 0, 0, 0, tm.tRRD + tm.tRCD));
+    EXPECT_EQ(pc.violations(Violation::SubarrayColIllegal), 1u);
+    EXPECT_EQ(pc.violations(), 1u) << pc.lastViolation();
+}
+
+TEST(ProtocolCheck, AccessOutsideSubarrayColorsFlags)
+{
+    DramTiming tm = ddr3_1600();
+    ProtocolCheckerParams params;
+    params.salp = SalpMode::Masa;
+    params.subarrayColoring = true;
+    ProtocolChecker pc(geo(), tm, 2, params);
+
+    // Thread 0 owns exactly one subarray color: bank 0, subarray 0.
+    pc.onColorSet(0, {0});
+
+    // A foreign subarray of a partially-owned bank is the finer
+    // breach class...
+    pc.onCommand(ev(DramCmd::Activate, 0, 0, 1, 0, 0));
+    pc.onCommand(ev(DramCmd::Read, 0, 0, 1, tm.tRCD, 0));
+    EXPECT_EQ(pc.violations(Violation::PartitionSubarray), 1u);
+    EXPECT_EQ(pc.violations(), 1u) << pc.lastViolation();
+
+    // ...while a fully-foreign bank still reports the classic one.
+    pc.onCommand(ev(DramCmd::Activate, 0, 1, 0, tm.tRRD, 0));
+    pc.onCommand(ev(DramCmd::Read, 0, 1, 0,
+                    tm.tRRD + tm.tRCD + tm.tBURST, 0));
+    EXPECT_EQ(pc.violations(Violation::PartitionAccess), 1u);
+    EXPECT_EQ(pc.violations(), 2u) << pc.lastViolation();
+}
+
+// ---------------------------------------------------------------------
 // Layer 2: cross-validation against the real DramChannel.
 // ---------------------------------------------------------------------
 
